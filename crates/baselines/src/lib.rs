@@ -1,0 +1,169 @@
+//! The competitor partitioners from the paper's evaluation (Sec. 5.2.2):
+//! Zoltan's Recursive Coordinate Bisection (RCB), Recursive Inertial
+//! Bisection (RIB), MultiJagged (MJ) multisection, and Hilbert space-filling
+//! curve partitioning (zoltanSFC / HSFC).
+//!
+//! Every algorithm is written SPMD over [`geographer_parcomm::Comm`]: each
+//! rank holds a shard of the points and all global decisions (medians,
+//! inertia axes, curve splitters) go through collectives — the same
+//! communication structure as Zoltan's MPI implementations. Running with
+//! [`geographer_parcomm::SelfComm`] gives the shared-memory variant for
+//! free; [`partition_shared`] is that convenience wrapper.
+
+// Fixed-dimension coordinate loops index several parallel arrays at once;
+// iterator-zip rewrites of those loops are less readable, not more.
+#![allow(clippy::needless_range_loop)]
+
+pub mod hsfc;
+pub mod mj;
+pub mod rcb;
+pub mod rib;
+
+use geographer_geometry::WeightedPoints;
+use geographer_parcomm::{Comm, SelfComm};
+
+pub use hsfc::hsfc_partition;
+pub use mj::multi_jagged;
+pub use rcb::rcb_partition;
+pub use rib::rib_partition;
+
+/// Identifier for the four baseline algorithms (used by the experiment
+/// harness to iterate over tools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Recursive coordinate bisection.
+    Rcb,
+    /// Recursive inertial bisection.
+    Rib,
+    /// MultiJagged multisection.
+    MultiJagged,
+    /// Hilbert space-filling curve cuts.
+    Hsfc,
+}
+
+impl Baseline {
+    /// All four baselines, in the order the paper's tables list them.
+    pub const ALL: [Baseline; 4] =
+        [Baseline::Hsfc, Baseline::MultiJagged, Baseline::Rcb, Baseline::Rib];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::Rcb => "RCB",
+            Baseline::Rib => "RIB",
+            Baseline::MultiJagged => "MultiJagged",
+            Baseline::Hsfc => "HSFC",
+        }
+    }
+
+    /// Run this baseline SPMD: `points`/`weights` are the rank-local shard;
+    /// returns the block id of each local point.
+    pub fn partition_spmd<const D: usize, C: Comm>(
+        &self,
+        comm: &C,
+        points: &[geographer_geometry::Point<D>],
+        weights: &[f64],
+        k: usize,
+    ) -> Vec<u32> {
+        match self {
+            Baseline::Rcb => rcb_partition(comm, points, weights, k),
+            Baseline::Rib => rib_partition(comm, points, weights, k),
+            Baseline::MultiJagged => multi_jagged(comm, points, weights, k),
+            Baseline::Hsfc => hsfc_partition(comm, points, weights, k),
+        }
+    }
+}
+
+/// Shared-memory convenience wrapper: partition a whole point set with one
+/// call (single-rank SPMD).
+pub fn partition_shared<const D: usize>(
+    algo: Baseline,
+    pts: &WeightedPoints<D>,
+    k: usize,
+) -> Vec<u32> {
+    algo.partition_spmd(&SelfComm, &pts.points, &pts.weights, k)
+}
+
+/// Shared bookkeeping for the recursive partitioners: a region is a set of
+/// local point indices plus the range of block ids it will be divided into.
+#[derive(Debug, Clone)]
+pub(crate) struct Region {
+    /// Number of blocks this region still has to produce.
+    pub k: usize,
+    /// First block id owned by this region.
+    pub offset: u32,
+    /// Rank-local indices of the points in this region.
+    pub idx: Vec<u32>,
+}
+
+/// Split `region` at `threshold` over projected `values` (same order as
+/// `region.idx`); returns `(low_side, high_side)` index lists.
+pub(crate) fn split_indices(
+    region: &Region,
+    values: &[f64],
+    threshold: f64,
+) -> (Vec<u32>, Vec<u32>) {
+    debug_assert_eq!(values.len(), region.idx.len());
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for (&i, &v) in region.idx.iter().zip(values) {
+        if v <= threshold {
+            low.push(i);
+        } else {
+            high.push(i);
+        }
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_geometry::Point;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Baseline::Rcb.name(), "RCB");
+        assert_eq!(Baseline::ALL.len(), 4);
+    }
+
+    #[test]
+    fn split_indices_partitions() {
+        let region = Region { k: 2, offset: 0, idx: vec![0, 1, 2, 3] };
+        let values = [0.1, 0.9, 0.5, 0.5];
+        let (lo, hi) = split_indices(&region, &values, 0.5);
+        assert_eq!(lo, vec![0, 2, 3]);
+        assert_eq!(hi, vec![1]);
+    }
+
+    /// Every baseline must respect block-id ranges and produce a roughly
+    /// balanced unweighted partition on uniform data.
+    #[test]
+    fn all_baselines_balanced_on_uniform_points() {
+        use geographer_geometry::SplitMix64;
+        let mut rng = SplitMix64::new(5);
+        let n = 4000;
+        let pts: Vec<Point<2>> =
+            (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let wp = WeightedPoints::unweighted(pts);
+        for algo in Baseline::ALL {
+            for k in [2usize, 5, 8] {
+                let asg = partition_shared(algo, &wp, k);
+                assert_eq!(asg.len(), n);
+                let mut counts = vec![0usize; k];
+                for &b in &asg {
+                    assert!((b as usize) < k, "{}: block out of range", algo.name());
+                    counts[b as usize] += 1;
+                }
+                let max = *counts.iter().max().unwrap() as f64;
+                let avg = n as f64 / k as f64;
+                assert!(
+                    max / avg < 1.06,
+                    "{} k={k}: imbalance {} too high ({counts:?})",
+                    algo.name(),
+                    max / avg - 1.0
+                );
+            }
+        }
+    }
+}

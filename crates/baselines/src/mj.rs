@@ -1,0 +1,223 @@
+//! MultiJagged (Deveci, Rajamanickam, Devine, Çatalyürek, TPDS 2016).
+//!
+//! A generalization of recursive bisection: instead of cutting each region
+//! in two, MJ cuts it into `m ≈ k^(1/L)` slabs at once (L = levels left),
+//! cycling through the coordinate dimensions. One region therefore needs a
+//! single multi-way quantile search (all `m−1` cut lines found together),
+//! which gives MJ its shallow recursion depth — the property behind its
+//! superior scaling in the paper's Fig. 3.
+
+use geographer_dsort::{weighted_quantiles_grouped, QuantileGroup};
+use geographer_geometry::Point;
+use geographer_parcomm::Comm;
+
+use crate::Region;
+
+/// Choose how many parts to cut a region with `k` target blocks into, with
+/// `levels_left` recursion levels remaining (≥ 1).
+fn fanout(k: usize, levels_left: usize) -> usize {
+    if levels_left <= 1 {
+        return k;
+    }
+    let m = (k as f64).powf(1.0 / levels_left as f64).round() as usize;
+    m.clamp(2, k)
+}
+
+/// Split `k` into `m` nearly equal integer parts (sizes differ by ≤ 1,
+/// larger ones first).
+fn split_k(k: usize, m: usize) -> Vec<usize> {
+    let q = k / m;
+    let r = k % m;
+    (0..m).map(|i| q + usize::from(i < r)).collect()
+}
+
+/// Partition the rank-local `points` into `k` blocks with MultiJagged.
+///
+/// All regions of one recursion level find *all* their cut lines in a
+/// single grouped quantile search — MJ's defining property: for 2D and
+/// `k = m²`, two collective phases suffice no matter how large `k` is.
+pub fn multi_jagged<const D: usize, C: Comm>(
+    comm: &C,
+    points: &[Point<D>],
+    weights: &[f64],
+    k: usize,
+) -> Vec<u32> {
+    assert!(k >= 1);
+    assert_eq!(points.len(), weights.len());
+    let mut assignment = vec![0u32; points.len()];
+    // (region, dimension to cut, levels left in this sweep)
+    let root = Region { k, offset: 0, idx: (0..points.len() as u32).collect() };
+    let mut level: Vec<(Region, usize, usize)> = vec![(root, 0usize, D)];
+
+    while !level.is_empty() {
+        let mut active: Vec<(Region, usize, usize)> = Vec::new();
+        for (region, dim, levels_left) in level.drain(..) {
+            if region.k == 1 {
+                for &i in &region.idx {
+                    assignment[i as usize] = region.offset;
+                }
+            } else {
+                active.push((region, dim, levels_left));
+            }
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        // One grouped multi-cut search for the whole level.
+        let mut parts_per_region = Vec::with_capacity(active.len());
+        let groups: Vec<QuantileGroup> = active
+            .iter()
+            .map(|(region, dim, levels_left)| {
+                let m = fanout(region.k, (*levels_left).max(1));
+                let parts = split_k(region.k, m);
+                // Cut fractions are cumulative block counts.
+                let mut alphas = Vec::with_capacity(m - 1);
+                let mut acc = 0usize;
+                for &part in &parts[..m - 1] {
+                    acc += part;
+                    alphas.push(acc as f64 / region.k as f64);
+                }
+                parts_per_region.push(parts);
+                QuantileGroup {
+                    values: region.idx.iter().map(|&i| points[i as usize][*dim]).collect(),
+                    weights: region.idx.iter().map(|&i| weights[i as usize]).collect(),
+                    alphas,
+                }
+            })
+            .collect();
+        let all_cuts = weighted_quantiles_grouped(comm, &groups);
+
+        for (((region, dim, levels_left), group), (cuts, parts)) in active
+            .iter()
+            .zip(&groups)
+            .zip(all_cuts.iter().zip(&parts_per_region))
+        {
+            let m = parts.len();
+            // Route points into the m slabs.
+            let mut slabs: Vec<Vec<u32>> = vec![Vec::new(); m];
+            for (&i, &v) in region.idx.iter().zip(&group.values) {
+                let s = cuts.partition_point(|&c| c < v);
+                slabs[s].push(i);
+            }
+            let next_dim = (dim + 1) % D;
+            let next_levels = if *levels_left > 1 { levels_left - 1 } else { D };
+            let mut offset = region.offset;
+            for (slab, &part_k) in slabs.into_iter().zip(parts) {
+                level.push((
+                    Region { k: part_k, offset, idx: slab },
+                    next_dim,
+                    next_levels,
+                ));
+                offset += part_k as u32;
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_geometry::SplitMix64;
+    use geographer_parcomm::{run_spmd, SelfComm};
+
+    #[test]
+    fn fanout_square_for_2d() {
+        assert_eq!(fanout(16, 2), 4);
+        assert_eq!(fanout(9, 2), 3);
+        assert_eq!(fanout(8, 2), 3); // rounds sqrt(8)≈2.83 to 3
+        assert_eq!(fanout(5, 1), 5);
+        assert_eq!(fanout(27, 3), 3);
+    }
+
+    #[test]
+    fn split_k_sums_and_balances() {
+        assert_eq!(split_k(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_k(9, 3), vec![3, 3, 3]);
+        assert_eq!(split_k(7, 7), vec![1; 7]);
+        for k in 1..40 {
+            for m in 1..=k {
+                let parts = split_k(k, m);
+                assert_eq!(parts.iter().sum::<usize>(), k);
+                let mx = parts.iter().max().unwrap();
+                let mn = parts.iter().min().unwrap();
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn square_k_gives_grid_of_rectangles() {
+        // k = 9 on uniform points: the first level cuts x into 3 slabs,
+        // second level y — block boundaries must align to 1/3 lines.
+        let mut rng = SplitMix64::new(1);
+        let pts: Vec<Point<2>> =
+            (0..9000).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let w = vec![1.0; pts.len()];
+        let asg = multi_jagged(&SelfComm, &pts, &w, 9);
+        for (p, &b) in pts.iter().zip(&asg) {
+            let col = (p[0] * 3.0) as usize;
+            // The block id encodes column-major traversal: column = b / 3.
+            let expected_col = (b / 3) as usize;
+            // Quantile cuts sit near (not exactly at) 1/3 boundaries: allow
+            // points close to boundaries to fall either way.
+            let x_frac = (p[0] * 3.0).fract();
+            if x_frac > 0.05 && x_frac < 0.95 {
+                assert_eq!(col, expected_col, "point {p:?} in block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_for_awkward_k() {
+        let mut rng = SplitMix64::new(2);
+        let pts: Vec<Point<2>> =
+            (0..7000).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let w = vec![1.0; pts.len()];
+        for k in [3usize, 7, 11, 13] {
+            let asg = multi_jagged(&SelfComm, &pts, &w, k);
+            let mut counts = vec![0usize; k];
+            for &b in &asg {
+                counts[b as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            assert!(
+                max / (pts.len() as f64 / k as f64) < 1.05,
+                "k={k}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_d_partition_valid() {
+        let mut rng = SplitMix64::new(3);
+        let pts: Vec<Point<3>> = (0..4000)
+            .map(|_| Point::new([rng.next_f64(), rng.next_f64(), rng.next_f64()]))
+            .collect();
+        let w = vec![1.0; pts.len()];
+        let asg = multi_jagged(&SelfComm, &pts, &w, 8);
+        let mut counts = vec![0usize; 8];
+        for &b in &asg {
+            counts[b as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "no block may be empty: {counts:?}");
+    }
+
+    #[test]
+    fn spmd_matches_shared_memory() {
+        let mut rng = SplitMix64::new(4);
+        let pts: Vec<Point<2>> =
+            (0..1600).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let w = vec![1.0; pts.len()];
+        let serial = multi_jagged(&SelfComm, &pts, &w, 6);
+        let results = run_spmd(4, |c| {
+            let chunk = pts.len() / 4;
+            let lo = c.rank() * chunk;
+            let hi = lo + chunk;
+            multi_jagged(&c, &pts[lo..hi], &w[lo..hi], 6)
+        });
+        let distributed: Vec<u32> = results.into_iter().flatten().collect();
+        assert_eq!(distributed, serial);
+    }
+}

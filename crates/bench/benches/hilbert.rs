@@ -1,0 +1,46 @@
+//! Microbenchmark: Hilbert key computation (the per-point cost of the
+//! bootstrap's indexing phase).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use geographer_geometry::{Aabb, Point, SplitMix64};
+use geographer_sfc::HilbertMapper;
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let pts2: Vec<Point<2>> =
+        (0..100_000).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+    let pts3: Vec<Point<3>> = (0..100_000)
+        .map(|_| Point::new([rng.next_f64(), rng.next_f64(), rng.next_f64()]))
+        .collect();
+    let bb2 = Aabb::from_points(&pts2).unwrap();
+    let bb3 = Aabb::from_points(&pts3).unwrap();
+    let m2 = HilbertMapper::new(bb2, 16);
+    let m3 = HilbertMapper::new(bb3, 16);
+
+    let mut g = c.benchmark_group("hilbert_keys");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(pts2.len() as u64));
+    g.bench_function("2d_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts2 {
+                acc = acc.wrapping_add(m2.key_of(black_box(p)));
+            }
+            acc
+        })
+    });
+    g.throughput(Throughput::Elements(pts3.len() as u64));
+    g.bench_function("3d_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts3 {
+                acc = acc.wrapping_add(m3.key_of(black_box(p)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hilbert);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark: balanced k-means assignment work, with and without the
+//! geometric optimizations (the per-iteration cost behind Table 1's
+//! `time` column and the Sec. 4.3 skip-rate claim).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geographer::{balanced_kmeans, Config};
+use geographer_geometry::{Point, SplitMix64};
+use geographer_parcomm::SelfComm;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let n = 30_000;
+    let pts: Vec<Point<2>> =
+        (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+    let w = vec![1.0; n];
+    let k = 16;
+    let centers: Vec<Point<2>> =
+        (0..k).map(|i| pts[i * n / k + n / (2 * k)]).collect();
+
+    let mut g = c.benchmark_group("balanced_kmeans_30k_k16");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    let base = Config { max_iterations: 10, sampling_init: false, ..Config::default() };
+    g.bench_function("optimized", |b| {
+        b.iter(|| balanced_kmeans(&SelfComm, &pts, &w, k, centers.clone(), &base))
+    });
+    let naive = Config { hamerly_bounds: false, bbox_pruning: false, ..base.clone() };
+    g.bench_function("naive", |b| {
+        b.iter(|| balanced_kmeans(&SelfComm, &pts, &w, k, centers.clone(), &naive))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

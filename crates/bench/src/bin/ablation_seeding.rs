@@ -1,0 +1,68 @@
+//! Ablation of the initial-center choice. The paper bootstraps centers
+//! from the space-filling-curve order (Algorithm 2, line 7: equidistant
+//! positions along the sorted points) and argues this "yields a beneficial
+//! geometric spread"; it dismisses k-means++-style seeding as too
+//! expensive (Sec. 3.3). Here we compare
+//!
+//! * `sfc-spread` — the paper's choice;
+//! * `first-k` — the degenerate baseline (first k points: clumped);
+//! * `strided` — every (n/k)-th point in *input* order (random spread).
+//!
+//! Metrics: movement iterations to convergence, distance evaluations,
+//! final quality (edge cut of the induced partition).
+
+use geographer::{balanced_kmeans, Config};
+use geographer_bench::{scaled, TextTable};
+use geographer_geometry::{Aabb, Point};
+use geographer_graph::evaluate_partition;
+use geographer_mesh::families::bubbles_like;
+use geographer_parcomm::SelfComm;
+use geographer_sfc::HilbertMapper;
+
+fn main() {
+    let n = scaled(20_000);
+    let k = 16;
+    println!("# Ablation: initial center seeding (bubbles-like mesh, n = {n}, k = {k})");
+    let mesh = bubbles_like(n, 81);
+    let pts = &mesh.points;
+    let w = &mesh.weights;
+
+    // The paper's seeding: equidistant along the Hilbert order.
+    let bb = Aabb::from_points(pts).unwrap();
+    let mapper = HilbertMapper::new(bb, 16);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| mapper.key_of(&pts[i as usize]));
+    let sfc_centers: Vec<Point<2>> =
+        (0..k).map(|i| pts[order[i * n / k + n / (2 * k)] as usize]).collect();
+
+    let first_k: Vec<Point<2>> = pts[..k].to_vec();
+    let strided: Vec<Point<2>> = (0..k).map(|i| pts[i * n / k + n / (2 * k)]).collect();
+
+    let variants: [(&str, Vec<Point<2>>); 3] =
+        [("sfc-spread", sfc_centers), ("first-k", first_k), ("strided", strided)];
+
+    let mut table = TextTable::new(vec![
+        "seeding", "iters", "balanceIters", "distEvals", "cut", "totCommVol", "imbalance",
+    ]);
+    let cfg = Config { sampling_init: false, max_iterations: 300, ..Config::default() };
+    for (name, centers) in variants {
+        let out = balanced_kmeans(&SelfComm, pts, w, k, centers, &cfg);
+        let m = evaluate_partition(&mesh.graph, &out.assignment, w, k);
+        table.row(vec![
+            name.to_string(),
+            out.stats.movement_iterations.to_string(),
+            out.stats.balance_iterations.to_string(),
+            out.stats.distance_evals.to_string(),
+            m.edge_cut.to_string(),
+            m.total_comm_volume.to_string(),
+            format!("{:.4}", out.stats.final_imbalance),
+        ]);
+    }
+    table.print();
+    println!("\n(observed at reproduction scale: final quality and balance are");
+    println!(" insensitive to the seeding — the influence mechanism repairs even");
+    println!(" clumped seeds — while iteration counts vary; the SFC seeding's");
+    println!(" value in the paper is at scale, where extra iterations are global");
+    println!(" synchronizations and clumped seeds would need many more of them");
+    println!(" *before* the sampling rounds can help)");
+}

@@ -1,0 +1,50 @@
+//! Sec. 5.3.2 "Components" reproduction: how Geographer's running time
+//! splits between Hilbert indexing, redistribution, and the balanced
+//! k-means iterations, as the rank count grows.
+//!
+//! Paper observation: at small scale indexing + k-means dominate; as p
+//! grows the redistribution takes an increasing share (32 % → 46 % of the
+//! time on Delaunay2B between 1 024 and 16 384 ranks, with k-means going
+//! from 47 % to 42 %).
+
+use geographer::{partition_spmd, Config};
+use geographer_bench::{scaled, TextTable};
+use geographer_mesh::delaunay_unit_square;
+use geographer_parcomm::run_spmd;
+
+fn main() {
+    let n = scaled(60_000);
+    println!("# Components breakdown: Geographer on Delaunay n = {n}");
+    let mesh = delaunay_unit_square(n, 31);
+    let cfg = Config::default();
+    let mut table = TextTable::new(vec![
+        "p", "sfcIndex%", "redistribute%", "kmeans%", "total(serialized)",
+    ]);
+    for p in [1usize, 2, 4, 8, 16] {
+        let chunk = n / p;
+        let points = &mesh.points;
+        let weights = &mesh.weights;
+        let results = run_spmd(p, |comm| {
+            use geographer_parcomm::Comm;
+            let lo = comm.rank() * chunk;
+            let hi = if comm.rank() == p - 1 { n } else { lo + chunk };
+            let res = partition_spmd(&comm, &points[lo..hi], &weights[lo..hi], p.max(2), &cfg);
+            res.timings
+        });
+        // Phases are synchronized by collectives: sum across ranks gives the
+        // serialized share of each phase.
+        let sfc: f64 = results.iter().map(|t| t.sfc_index).sum();
+        let redist: f64 = results.iter().map(|t| t.redistribute).sum();
+        let kmeans: f64 = results.iter().map(|t| t.kmeans).sum();
+        let total = sfc + redist + kmeans;
+        table.row(vec![
+            p.to_string(),
+            format!("{:.1}", 100.0 * sfc / total),
+            format!("{:.1}", 100.0 * redist / total),
+            format!("{:.1}", 100.0 * kmeans / total),
+            format!("{total:.3}s"),
+        ]);
+    }
+    table.print();
+    println!("\n(expected: redistribution share grows with p, k-means share shrinks)");
+}

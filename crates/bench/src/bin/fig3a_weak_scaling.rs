@@ -1,0 +1,46 @@
+//! Fig. 3a reproduction: weak scaling on the Delaunay series. Points per
+//! rank stay fixed while p = k doubles. Reported time is the α–β-modeled
+//! parallel time (measured communication structure + perfectly scaled
+//! compute; see `geographer_bench::cost`).
+//!
+//! Expected shape (paper): Geographer, MultiJagged and HSFC scale almost
+//! flat; the recursive methods (RCB, RIB) grow with every doubling.
+
+use geographer::Config;
+use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
+use geographer_mesh::delaunay_unit_square;
+
+fn main() {
+    let per_rank = scaled(4000);
+    let ps = [1usize, 2, 4, 8, 16, 32];
+    let model = CostModel::default();
+    let cfg = Config::default();
+    println!(
+        "# Fig. 3a weak scaling: Delaunay series, {per_rank} points/rank, k = p"
+    );
+    let mut table = TextTable::new(
+        std::iter::once("p=k".to_string())
+            .chain(Tool::ALL.iter().map(|t| format!("{} [ms]", t.name())))
+            .collect::<Vec<_>>(),
+    );
+    for &p in &ps {
+        let n = per_rank * p;
+        let mesh = delaunay_unit_square(n, 7 + p as u64);
+        let mut cells = vec![p.to_string()];
+        for tool in Tool::ALL {
+            let out = run_tool(tool, &mesh, p.max(2), p, &cfg);
+            let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
+            cells.push(format!("{:.2}", modeled * 1e3));
+            eprintln!(
+                "  p={p} {}: wall(serialized)={:.2}s collectives={} bytes={}",
+                tool.name(),
+                out.wall_seconds,
+                out.comm.collectives,
+                out.comm.bytes
+            );
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n(modeled parallel ms per run; flat rows = perfect weak scaling)");
+}

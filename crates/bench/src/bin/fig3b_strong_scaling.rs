@@ -1,0 +1,43 @@
+//! Fig. 3b reproduction: strong scaling on the largest Delaunay instance —
+//! fixed n, growing p = k (the paper notes this is not strictly strong
+//! scaling since k grows with p, and we follow that setup).
+//!
+//! Expected shape: near-perfect scaling for Geographer/MJ/HSFC up to the
+//! point where collective latency dominates; RCB and RIB flatten out much
+//! earlier and end up slowest.
+
+use geographer::Config;
+use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
+use geographer_mesh::delaunay_unit_square;
+
+fn main() {
+    let n = scaled(120_000);
+    let ps = [4usize, 8, 16, 32, 64];
+    let model = CostModel::default();
+    let cfg = Config::default();
+    println!("# Fig. 3b strong scaling: Delaunay n = {n}, k = p");
+    let mesh = delaunay_unit_square(n, 99);
+    let mut table = TextTable::new(
+        std::iter::once("p=k".to_string())
+            .chain(Tool::ALL.iter().map(|t| format!("{} [ms]", t.name())))
+            .collect::<Vec<_>>(),
+    );
+    for &p in &ps {
+        let mut cells = vec![p.to_string()];
+        for tool in Tool::ALL {
+            let out = run_tool(tool, &mesh, p, p, &cfg);
+            let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
+            cells.push(format!("{:.2}", modeled * 1e3));
+            eprintln!(
+                "  p={p} {}: wall(serialized)={:.2}s collectives={} bytes={}",
+                tool.name(),
+                out.wall_seconds,
+                out.comm.collectives,
+                out.comm.bytes
+            );
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n(modeled parallel ms; halving per row = perfect strong scaling)");
+}

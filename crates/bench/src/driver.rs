@@ -1,0 +1,183 @@
+//! Uniform tool driver: run any of the five partitioners SPMD on a mesh
+//! and evaluate the paper's metric row for the result.
+
+use std::time::Instant;
+
+use geographer::Config;
+use geographer_baselines::Baseline;
+use geographer_geometry::Point;
+use geographer_graph::{evaluate_partition, PartitionMetrics};
+use geographer_mesh::Mesh;
+use geographer_parcomm::{run_spmd, Comm, CommStats};
+use geographer_spmv::spmv_comm_time;
+
+/// The five evaluated tools, in the paper's presentation order
+/// (Geographer first, then the Zoltan geometric partitioners).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// Balanced k-means with SFC bootstrap (the paper's contribution).
+    Geographer,
+    /// Hilbert space-filling-curve cuts (zoltanSFC).
+    Hsfc,
+    /// MultiJagged multisection.
+    MultiJagged,
+    /// Recursive coordinate bisection.
+    Rcb,
+    /// Recursive inertial bisection.
+    Rib,
+}
+
+impl Tool {
+    /// All five tools.
+    pub const ALL: [Tool; 5] =
+        [Tool::Geographer, Tool::Hsfc, Tool::MultiJagged, Tool::Rcb, Tool::Rib];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::Geographer => "Geographer",
+            Tool::Hsfc => "HSFC",
+            Tool::MultiJagged => "MultiJagged",
+            Tool::Rcb => "RCB",
+            Tool::Rib => "RIB",
+        }
+    }
+
+    /// Run this tool on the rank-local shard (SPMD collective call).
+    pub fn partition_spmd<const D: usize, C: Comm>(
+        &self,
+        comm: &C,
+        points: &[Point<D>],
+        weights: &[f64],
+        k: usize,
+        cfg: &Config,
+    ) -> Vec<u32> {
+        match self {
+            Tool::Geographer => {
+                geographer::partition_spmd(comm, points, weights, k, cfg).assignment
+            }
+            Tool::Hsfc => Baseline::Hsfc.partition_spmd(comm, points, weights, k),
+            Tool::MultiJagged => {
+                Baseline::MultiJagged.partition_spmd(comm, points, weights, k)
+            }
+            Tool::Rcb => Baseline::Rcb.partition_spmd(comm, points, weights, k),
+            Tool::Rib => Baseline::Rib.partition_spmd(comm, points, weights, k),
+        }
+    }
+}
+
+/// Result of one tool run on one mesh.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Block per vertex, in mesh order.
+    pub assignment: Vec<u32>,
+    /// Wall-clock seconds of the whole SPMD run. On the single-core
+    /// reproduction machine this approximates the *serialized* compute of
+    /// all ranks.
+    pub wall_seconds: f64,
+    /// Communication counters accumulated by the run.
+    pub comm: CommStats,
+    /// Number of ranks used.
+    pub ranks: usize,
+}
+
+/// Run `tool` on `mesh` with `p` SPMD ranks (threads) and `k` blocks.
+/// Points are dealt to ranks in contiguous chunks of the mesh order.
+pub fn run_tool<const D: usize>(
+    tool: Tool,
+    mesh: &Mesh<D>,
+    k: usize,
+    p: usize,
+    cfg: &Config,
+) -> RunOutcome {
+    assert!(p >= 1 && k >= 1);
+    let n = mesh.n();
+    let chunk_bounds: Vec<(usize, usize)> =
+        (0..p).map(|r| (r * n / p, (r + 1) * n / p)).collect();
+    let t = Instant::now();
+    let results = run_spmd(p, |comm| {
+        let (lo, hi) = chunk_bounds[comm.rank()];
+        let before = comm.stats();
+        let asg =
+            tool.partition_spmd(&comm, &mesh.points[lo..hi], &mesh.weights[lo..hi], k, cfg);
+        (asg, comm.stats().since(&before))
+    });
+    let wall_seconds = t.elapsed().as_secs_f64();
+    let comm = results[0].1;
+    let assignment: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
+    assert_eq!(assignment.len(), n);
+    RunOutcome { assignment, wall_seconds, comm, ranks: p }
+}
+
+/// One row of the paper's Tables 1–2: tool, time, cut, comm volumes,
+/// diameter, SpMV communication time.
+#[derive(Debug, Clone)]
+pub struct ToolRow {
+    /// Tool display name.
+    pub tool: &'static str,
+    /// Partitioning wall time (serialized; see [`RunOutcome`]).
+    pub time: f64,
+    /// Graph metrics of the produced partition.
+    pub metrics: PartitionMetrics,
+    /// Average SpMV halo-exchange seconds (over `spmv_reps` repetitions,
+    /// summed across ranks).
+    pub spmv_comm_seconds: f64,
+    /// Bytes moved per SpMV (8 × total communication volume when k = p).
+    pub spmv_bytes: u64,
+}
+
+/// Evaluate a finished run: graph metrics + the empirical SpMV benchmark
+/// (Sec. 2 "to measure the quality of a partition empirically ...").
+pub fn evaluate_run<const D: usize>(
+    tool: Tool,
+    mesh: &Mesh<D>,
+    outcome: &RunOutcome,
+    k: usize,
+    spmv_reps: usize,
+) -> ToolRow {
+    let metrics = evaluate_partition(&mesh.graph, &outcome.assignment, &mesh.weights, k);
+    // Run the SpMV with min(k, 8) ranks: enough to exercise real exchange
+    // without massive thread oversubscription on the 1-core box.
+    let p = k.clamp(1, 8);
+    let reports = run_spmd(p, |c| spmv_comm_time(&c, &mesh.graph, &outcome.assignment, k, spmv_reps));
+    let spmv_comm_seconds: f64 = reports.iter().map(|r| r.comm_seconds_avg).sum::<f64>();
+    let spmv_bytes: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+    ToolRow {
+        tool: tool.name(),
+        time: outcome.wall_seconds,
+        metrics,
+        spmv_comm_seconds,
+        spmv_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_mesh::delaunay_unit_square;
+
+    #[test]
+    fn all_tools_run_on_a_delaunay_mesh() {
+        let mesh = delaunay_unit_square(1200, 1);
+        let cfg = Config::default();
+        for tool in Tool::ALL {
+            let out = run_tool(tool, &mesh, 4, 2, &cfg);
+            assert_eq!(out.assignment.len(), mesh.n(), "{}", tool.name());
+            assert!(out.assignment.iter().all(|&b| b < 4));
+            let row = evaluate_run(tool, &mesh, &out, 4, 2);
+            assert!(row.metrics.edge_cut > 0, "{}: cut can't be zero", tool.name());
+            assert!(row.metrics.imbalance <= 0.06, "{}: imbalance", tool.name());
+        }
+    }
+
+    #[test]
+    fn comm_counters_grow_with_ranks() {
+        let mesh = delaunay_unit_square(800, 2);
+        let cfg = Config::default();
+        let p1 = run_tool(Tool::Rcb, &mesh, 8, 1, &cfg);
+        let p4 = run_tool(Tool::Rcb, &mesh, 8, 4, &cfg);
+        assert!(p4.comm.bytes > p1.comm.bytes, "multi-rank runs move bytes");
+        // Same partition regardless of rank count.
+        assert_eq!(p1.assignment, p4.assignment);
+    }
+}

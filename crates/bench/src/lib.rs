@@ -1,0 +1,38 @@
+//! Experiment harness: uniform driver for running all five tools
+//! (Geographer + four Zoltan-style baselines) on generated meshes, the
+//! quality/metrics rows of the paper's tables, and the α–β cost model used
+//! by the scaling figures.
+//!
+//! Every `src/bin/*` target reproduces one table or figure; see DESIGN.md's
+//! per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod cost;
+pub mod driver;
+pub mod table;
+
+pub use cost::CostModel;
+pub use driver::{evaluate_run, run_tool, RunOutcome, Tool, ToolRow};
+pub use table::TextTable;
+
+/// Global instance-size multiplier, read from `GEO_SCALE` (default 1.0).
+/// `GEO_SCALE=4 cargo run --release --bin table1_large` runs the same
+/// experiments on 4× larger instances.
+pub fn env_scale() -> f64 {
+    std::env::var("GEO_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`env_scale`].
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * env_scale()) as usize).max(16)
+}
+
+/// Directory where experiment artifacts (SVGs, data files) are written.
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}

@@ -1,0 +1,152 @@
+//! Tuning parameters of balanced k-means and the Geographer pipeline.
+
+/// Configuration of [`crate::balanced_kmeans`] / the full pipeline.
+///
+/// Defaults follow the paper: ε = 3 % imbalance (Sec. 5.2.5), influence
+/// change capped at 5 % per balance step (Sec. 4.2), sampling
+/// initialization starting from 100 points per process (Sec. 4.5), and the
+/// geometric optimizations (Hamerly bounds, bounding-box pruning) enabled.
+/// The feature switches exist for the ablation experiments.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum allowed imbalance ε: every block weight must end up at most
+    /// `(1+ε)·(total/k)`.
+    pub epsilon: f64,
+    /// Maximum number of center-movement iterations (Algorithm 2's
+    /// `maxIter`).
+    pub max_iterations: usize,
+    /// Maximum balancing iterations between center movements (Algorithm 1's
+    /// `maxBalanceIter`, a tuning parameter per Sec. 4.2).
+    pub max_balance_iterations: usize,
+    /// Convergence threshold for the maximum center movement, relative to
+    /// the diagonal of the global bounding box (Algorithm 2's
+    /// `deltaThreshold`).
+    pub delta_threshold: f64,
+    /// Cap on the per-step influence change ("we restrict the maximum
+    /// influence change in one step to 5 %").
+    pub influence_change_cap: f64,
+    /// Enable the sigmoid influence-erosion scheme (Eqs. 2–3).
+    pub influence_erosion: bool,
+    /// Enable the adapted Hamerly distance bounds (Sec. 4.3).
+    pub hamerly_bounds: bool,
+    /// Enable center-to-bounding-box pruning (Sec. 4.4).
+    pub bbox_pruning: bool,
+    /// Enable the geometric-progression sampling initialization: start with
+    /// `initial_sample` random local points, double after every movement
+    /// round (Sec. 4.5). Disabled = every round uses the full point set.
+    pub sampling_init: bool,
+    /// Sample size of the first sampling round.
+    pub initial_sample: usize,
+    /// Seed for the local permutation used by the sampling initialization.
+    pub seed: u64,
+    /// Parallelize the rank-local assignment loop with rayon. Use in
+    /// single-rank (shared-memory) mode; leave off under `ThreadComm`,
+    /// where ranks already occupy the cores.
+    pub parallel_local: bool,
+    /// Per-block target weight fractions for non-uniform block sizes (the
+    /// paper's footnote 1: "When non-uniform block sizes are desired, for
+    /// example when partitioning for heterogeneous architectures, this can
+    /// easily be adapted"). `None` = uniform `1/k` targets. When `Some`,
+    /// the vector must have length `k`, positive entries; it is normalized
+    /// to sum to 1.
+    pub target_fractions: Option<Vec<f64>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            epsilon: 0.03,
+            max_iterations: 120,
+            max_balance_iterations: 50,
+            delta_threshold: 2e-3,
+            influence_change_cap: 0.05,
+            influence_erosion: true,
+            hamerly_bounds: true,
+            bbox_pruning: true,
+            sampling_init: true,
+            initial_sample: 100,
+            seed: 0x9e0_97e5,
+            parallel_local: false,
+            target_fractions: None,
+        }
+    }
+}
+
+impl Config {
+    /// Preset with every geometric optimization disabled — the naive
+    /// balanced Lloyd baseline the ablation benchmarks compare against.
+    pub fn unoptimized() -> Self {
+        Config {
+            hamerly_bounds: false,
+            bbox_pruning: false,
+            sampling_init: false,
+            ..Config::default()
+        }
+    }
+
+    /// Sanity-check parameter ranges.
+    ///
+    /// # Panics
+    /// On out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(self.epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(self.max_iterations >= 1);
+        assert!(self.max_balance_iterations >= 1);
+        assert!(self.delta_threshold >= 0.0);
+        assert!(
+            self.influence_change_cap > 0.0 && self.influence_change_cap < 1.0,
+            "influence cap must be in (0,1)"
+        );
+        assert!(self.initial_sample >= 1);
+        if let Some(f) = &self.target_fractions {
+            assert!(!f.is_empty(), "target_fractions must not be empty");
+            assert!(
+                f.iter().all(|x| x.is_finite() && *x > 0.0),
+                "target fractions must be positive"
+            );
+        }
+    }
+
+    /// The normalized per-block weight fractions for `k` blocks.
+    ///
+    /// # Panics
+    /// If explicit fractions were supplied with a length other than `k`.
+    pub fn fractions(&self, k: usize) -> Vec<f64> {
+        match &self.target_fractions {
+            None => vec![1.0 / k as f64; k],
+            Some(f) => {
+                assert_eq!(f.len(), k, "target_fractions length must equal k");
+                let sum: f64 = f.iter().sum();
+                f.iter().map(|x| x / sum).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.epsilon, 0.03);
+        assert_eq!(c.influence_change_cap, 0.05);
+        assert_eq!(c.initial_sample, 100);
+        assert!(c.hamerly_bounds && c.bbox_pruning && c.sampling_init);
+        c.validate();
+    }
+
+    #[test]
+    fn unoptimized_disables_optimizations() {
+        let c = Config::unoptimized();
+        assert!(!c.hamerly_bounds && !c.bbox_pruning && !c.sampling_init);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        Config { epsilon: -0.1, ..Config::default() }.validate();
+    }
+}

@@ -1,0 +1,135 @@
+//! Cluster influence values: the balancing mechanism of Sec. 4.2.
+//!
+//! Each cluster `c` carries an influence `I(c) > 0`; points are assigned by
+//! minimizing the *effective distance* `dist(p, center(c)) / I(c)`, which
+//! turns the assignment into a multiplicatively weighted Voronoi diagram.
+//! Growing `I(c)` grows the cluster, shrinking it starves it.
+//!
+//! # Adaptation (paper Eq. 1, sign corrected)
+//!
+//! Under roughly uniform density a cluster's weight scales like `I(c)^d`
+//! (its Voronoi cell radius scales linearly with `I`, volume with the d-th
+//! power). To move a cluster of current weight `s` to target weight `t`,
+//! set `γ = t/s` and update `I ← I · γ^(1/d)`. The paper's Eq. (1) prints a
+//! division, but its own follow-up algebra (`new size = γ · size_old`) and
+//! the hypersphere argument require the multiplication implemented here
+//! (see DESIGN.md, erratum 1). The per-step change is clamped to
+//! `[1/(1+cap), 1+cap]` (cap = 5 %) to prevent oscillation.
+//!
+//! # Erosion (paper Eqs. 2–3)
+//!
+//! After a center moves distance δ, its influence regresses toward 1 by the
+//! sigmoid factor `α = 2/(1+exp(−δ/β)) − 1`, i.e.
+//! `I ← exp((1−α)·ln I)` — an influence tuned for one neighbourhood is not
+//! appropriate for another.
+
+/// Multiplicative update factor for a cluster with weight ratio
+/// `gamma = target/current`, clamped to a `cap` relative change.
+/// `dim` is the geometric dimension d.
+pub fn adapt_factor(gamma: f64, dim: usize, cap: f64) -> f64 {
+    debug_assert!(cap > 0.0 && cap < 1.0);
+    if !gamma.is_finite() || gamma <= 0.0 {
+        // Empty cluster (current weight 0 → γ = ∞): grow at the cap.
+        return 1.0 + cap;
+    }
+    gamma.powf(1.0 / dim as f64).clamp(1.0 / (1.0 + cap), 1.0 + cap)
+}
+
+/// Erosion factor α(c) ∈ [0, 1) for a center that moved distance `delta`,
+/// with neighbourhood scale `beta` (paper's β(C), the average cluster
+/// diameter; we use a deterministic proxy, see [`crate::kmeans`]).
+pub fn erosion_alpha(delta: f64, beta: f64) -> f64 {
+    if beta <= 0.0 || delta <= 0.0 {
+        return 0.0;
+    }
+    // Eq. (2): α = 2/(1+exp(min(−δ/β, 0))) − 1. δ, β > 0 so the min is
+    // always −δ/β.
+    2.0 / (1.0 + (-delta / beta).exp()) - 1.0
+}
+
+/// Apply erosion (Eq. 3): regress `influence` toward 1 by `alpha`.
+pub fn erode(influence: f64, alpha: f64) -> f64 {
+    debug_assert!(influence > 0.0);
+    debug_assert!((0.0..=1.0).contains(&alpha));
+    ((1.0 - alpha) * influence.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_cluster_shrinks_influence() {
+        // Current weight twice the target: γ = 0.5 < 1 ⇒ factor < 1.
+        let f = adapt_factor(0.5, 2, 0.5);
+        assert!(f < 1.0, "oversized cluster must lose influence, got {f}");
+        assert!((f - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersized_cluster_grows_influence() {
+        let f = adapt_factor(2.0, 2, 0.5);
+        assert!((f - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_limits_change() {
+        assert_eq!(adapt_factor(1e9, 2, 0.05), 1.05);
+        assert_eq!(adapt_factor(1e-9, 2, 0.05), 1.0 / 1.05);
+    }
+
+    #[test]
+    fn empty_cluster_grows_at_cap() {
+        assert_eq!(adapt_factor(f64::INFINITY, 3, 0.05), 1.05);
+        assert_eq!(adapt_factor(f64::NAN, 3, 0.05), 1.05);
+    }
+
+    #[test]
+    fn dimension_scales_exponent() {
+        // In 3D the same γ produces a smaller correction than in 2D.
+        let f2 = adapt_factor(0.5, 2, 0.9);
+        let f3 = adapt_factor(0.5, 3, 0.9);
+        assert!(f3 > f2);
+        assert!((f3 - 0.5f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_consistency_size_converges() {
+        // The model: size' = size · factor^d. One uncapped update must land
+        // exactly on the target.
+        let (size, target, d) = (300.0, 100.0, 2usize);
+        let f = adapt_factor(target / size, d, 0.99);
+        let new_size = size * f.powi(d as i32);
+        assert!((new_size - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_for_stationary_center() {
+        assert_eq!(erosion_alpha(0.0, 1.0), 0.0);
+        assert_eq!(erosion_alpha(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn alpha_monotone_and_bounded() {
+        let beta = 1.0;
+        let mut last = 0.0;
+        for i in 1..100 {
+            let a = erosion_alpha(i as f64 * 0.2, beta);
+            assert!(a > last, "α must increase with δ");
+            assert!(a < 1.0, "α must stay below 1");
+            last = a;
+        }
+        // Large movement ⇒ nearly full erosion.
+        assert!(erosion_alpha(50.0, beta) > 0.999);
+    }
+
+    #[test]
+    fn erode_moves_influence_toward_one() {
+        assert!((erode(4.0, 0.0) - 4.0).abs() < 1e-12, "α=0 is a no-op");
+        assert!((erode(4.0, 1.0) - 1.0).abs() < 1e-12, "α=1 resets to 1");
+        let half = erode(4.0, 0.5);
+        assert!((half - 2.0).abs() < 1e-12, "α=0.5 halves the log: {half}");
+        // Works from below 1 as well.
+        assert!((erode(0.25, 0.5) - 0.5).abs() < 1e-12);
+    }
+}

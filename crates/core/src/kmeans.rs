@@ -1,0 +1,688 @@
+//! Balanced k-means: Algorithms 1 (AssignAndBalance) and 2 (BalancedKMeans)
+//! of the paper, written SPMD over [`Comm`].
+//!
+//! Each rank holds a shard of the points; cluster centers and influence
+//! values are replicated. The only communication inside the balance loop is
+//! one `globalSumVector` per balance iteration (block weights), and the
+//! only communication in the movement phase is one vector sum for the new
+//! weighted centroids — matching the blue-marked lines of the paper's
+//! pseudocode.
+
+use geographer_geometry::{Aabb, Point, SplitMix64};
+use geographer_parcomm::Comm;
+use rayon::prelude::*;
+
+use crate::bounds::Relaxation;
+use crate::config::Config;
+use crate::influence::{adapt_factor, erode, erosion_alpha};
+
+/// Work counters, kept per rank. These feed the ablation experiments
+/// (Hamerly skip rate, Sec. 4.3's "about 80 % of the cases") and the
+/// modeled scaling times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KMeansStats {
+    /// Center-movement iterations executed (Algorithm 2 main loop).
+    pub movement_iterations: u64,
+    /// Total balance iterations across all movement iterations.
+    pub balance_iterations: u64,
+    /// Point–center effective-distance evaluations.
+    pub distance_evals: u64,
+    /// Points whose inner loop was skipped by the Hamerly bound test.
+    pub hamerly_skips: u64,
+    /// Inner loops cut short by the bounding-box sort (Algorithm 1 line 16).
+    pub bbox_breaks: u64,
+    /// Point visits in assignment passes (skipped or not).
+    pub points_visited: u64,
+    /// Whether the center-movement loop converged before `max_iterations`.
+    pub converged: bool,
+    /// Imbalance of the final assignment (max block weight / average − 1).
+    pub final_imbalance: f64,
+    /// Whether the final assignment satisfies the balance constraint
+    /// `max ≤ max((1+ε)·avg, avg + w_max)` — the weighted form of the
+    /// paper's `|Vi| ≤ (1+ε)·⌈|V|/k⌉` (the `avg + w_max` term is the
+    /// feasibility floor imposed by weight granularity, exactly what the
+    /// ceiling provides in the unweighted case).
+    pub balance_achieved: bool,
+}
+
+impl KMeansStats {
+    /// Fraction of point visits resolved by the Hamerly skip.
+    pub fn skip_rate(&self) -> f64 {
+        if self.points_visited == 0 {
+            0.0
+        } else {
+            self.hamerly_skips as f64 / self.points_visited as f64
+        }
+    }
+
+    /// Sum counters across ranks (call from every rank).
+    pub fn reduce<C: Comm>(&self, comm: &C) -> KMeansStats {
+        let mut buf = [
+            self.movement_iterations, // identical on all ranks; max below
+            self.balance_iterations,
+            self.distance_evals,
+            self.hamerly_skips,
+            self.bbox_breaks,
+            self.points_visited,
+        ];
+        // movement/balance iterations are replicated — take them from this
+        // rank; sum the per-point counters.
+        let mut sums = [buf[2], buf[3], buf[4], buf[5]];
+        comm.allreduce_sum_u64(&mut sums);
+        buf[2] = sums[0];
+        buf[3] = sums[1];
+        buf[4] = sums[2];
+        buf[5] = sums[3];
+        KMeansStats {
+            movement_iterations: buf[0],
+            balance_iterations: buf[1],
+            distance_evals: buf[2],
+            hamerly_skips: buf[3],
+            bbox_breaks: buf[4],
+            points_visited: buf[5],
+            converged: self.converged,
+            final_imbalance: self.final_imbalance,
+            balance_achieved: self.balance_achieved,
+        }
+    }
+}
+
+/// Result of [`balanced_kmeans`] on one rank.
+#[derive(Debug, Clone)]
+pub struct KMeansOutput<const D: usize> {
+    /// Block id of every rank-local point, in input order.
+    pub assignment: Vec<u32>,
+    /// Final cluster centers (replicated).
+    pub centers: Vec<Point<D>>,
+    /// Final influence values (replicated).
+    pub influence: Vec<f64>,
+    /// This rank's work counters.
+    pub stats: KMeansStats,
+}
+
+/// Outcome of one point's assignment evaluation.
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    assignment: u32,
+    ub: f64,
+    lb: f64,
+    evals: u32,
+    skipped: bool,
+    bbox_break: bool,
+}
+
+/// The SPMD solver state for one `balanced_kmeans` call.
+struct Solver<'a, const D: usize> {
+    points: &'a [Point<D>],
+    weights: &'a [f64],
+    k: usize,
+    cfg: &'a Config,
+    centers: Vec<Point<D>>,
+    influence: Vec<f64>,
+    assignment: Vec<u32>,
+    ub: Vec<f64>,
+    lb: Vec<f64>,
+    /// Global maximum point weight (balance-feasibility granularity).
+    w_max: f64,
+    /// Normalized per-block target weight fractions (uniform = 1/k each).
+    fractions: Vec<f64>,
+    stats: KMeansStats,
+}
+
+impl<const D: usize> Solver<'_, D> {
+    /// Evaluate one point against the (bbox-sorted) centers.
+    /// `sorted`: `(effective distance to local bbox, center id)` ascending.
+    #[inline]
+    fn evaluate_point(&self, p: usize, sorted: &[(f64, u32)]) -> Eval {
+        let hamerly = self.cfg.hamerly_bounds;
+        if hamerly && self.ub[p] < self.lb[p] {
+            return Eval {
+                assignment: self.assignment[p],
+                ub: self.ub[p],
+                lb: self.lb[p],
+                evals: 0,
+                skipped: true,
+                bbox_break: false,
+            };
+        }
+        let pt = &self.points[p];
+        let mut best = f64::INFINITY;
+        let mut second = f64::INFINITY;
+        let mut best_c = self.assignment[p];
+        let mut evals = 0u32;
+        let mut bbox_break = false;
+        for &(dist_to_bb, c) in sorted {
+            if self.cfg.bbox_pruning && dist_to_bb > second {
+                bbox_break = true;
+                break;
+            }
+            let e = pt.dist(&self.centers[c as usize]) / self.influence[c as usize];
+            evals += 1;
+            if e < best {
+                second = best;
+                best = e;
+                best_c = c;
+            } else if e < second {
+                second = e;
+            }
+        }
+        Eval { assignment: best_c, ub: best, lb: second, evals, skipped: false, bbox_break }
+    }
+
+    /// Algorithm 1: assign points, rebalance influences until the partition
+    /// is balanced or `max_balance_iterations` is hit. Returns the global
+    /// block weights of the final assignment.
+    fn assign_and_balance<C: Comm>(&mut self, comm: &C, active: &[u32]) -> Vec<f64> {
+        let k = self.k;
+        let mut global_sizes = vec![0.0f64; k];
+        for balance_iter in 0..self.cfg.max_balance_iterations {
+            self.stats.balance_iterations += 1;
+
+            // Bounding box around the active local points (Alg. 1 line 1);
+            // centers sorted by their *minimum* effective distance to it
+            // (see DESIGN.md erratum 4 — the paper prints maxDist, which
+            // would make the early break unsound).
+            let bb = Aabb::from_points_indexed(self.points, active);
+            let mut sorted: Vec<(f64, u32)> = (0..k as u32)
+                .map(|c| {
+                    let d = match &bb {
+                        Some(bb) => {
+                            bb.min_dist(&self.centers[c as usize])
+                                / self.influence[c as usize]
+                        }
+                        None => 0.0,
+                    };
+                    (d, c)
+                })
+                .collect();
+            if self.cfg.bbox_pruning {
+                sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            }
+
+            // Assignment pass over the active points.
+            let use_rayon = self.cfg.parallel_local && active.len() >= 4096;
+            let this: &Solver<'_, D> = self;
+            let evals: Vec<Eval> = if use_rayon {
+                active
+                    .par_iter()
+                    .map(|&p| this.evaluate_point(p as usize, &sorted))
+                    .collect()
+            } else {
+                active.iter().map(|&p| this.evaluate_point(p as usize, &sorted)).collect()
+            };
+
+            let mut local_sizes = vec![0.0f64; k];
+            for (&p, ev) in active.iter().zip(&evals) {
+                let p = p as usize;
+                self.assignment[p] = ev.assignment;
+                self.ub[p] = ev.ub;
+                self.lb[p] = ev.lb;
+                self.stats.points_visited += 1;
+                self.stats.distance_evals += ev.evals as u64;
+                self.stats.hamerly_skips += u64::from(ev.skipped);
+                self.stats.bbox_breaks += u64::from(ev.bbox_break);
+                local_sizes[ev.assignment as usize] += self.weights[p];
+            }
+
+            // The only communication of the balance loop (Alg. 1 line 31).
+            global_sizes.copy_from_slice(&local_sizes);
+            comm.allreduce_sum_f64(&mut global_sizes);
+
+            let total: f64 = global_sizes.iter().sum();
+            // Per-block targets: uniform total/k, or the configured
+            // heterogeneous fractions (paper footnote 1).
+            let mut worst_ratio = 0.0f64;
+            let mut all_within = true;
+            for c in 0..k {
+                let target = total * self.fractions[c];
+                if target <= 0.0 {
+                    continue;
+                }
+                worst_ratio = worst_ratio.max(global_sizes[c] / target);
+                // Weighted form of the paper's Lmax = (1+ε)·⌈w(V)/k⌉: the
+                // `target + w_max` floor is what makes the constraint
+                // feasible when single point weights exceed ε·target.
+                let allowed =
+                    ((1.0 + self.cfg.epsilon) * target).max(target + self.w_max);
+                if global_sizes[c] > allowed + 1e-12 {
+                    all_within = false;
+                }
+            }
+            self.stats.final_imbalance = (worst_ratio - 1.0).max(0.0);
+            self.stats.balance_achieved = all_within;
+            if all_within {
+                return global_sizes;
+            }
+            if balance_iter + 1 == self.cfg.max_balance_iterations {
+                return global_sizes;
+            }
+
+            // Adapt influences (Eq. 1, corrected) and relax bounds.
+            let old_influence = self.influence.clone();
+            for c in 0..k {
+                let target = total * self.fractions[c];
+                let gamma = if global_sizes[c] > 0.0 {
+                    target / global_sizes[c]
+                } else {
+                    f64::INFINITY
+                };
+                self.influence[c] *=
+                    adapt_factor(gamma, D, self.cfg.influence_change_cap);
+            }
+            if self.cfg.hamerly_bounds {
+                let relax = Relaxation::influence_only(&old_influence, &self.influence);
+                let n = self.ub.len();
+                relax.apply(&mut self.ub, &mut self.lb, &self.assignment, n);
+            }
+        }
+        global_sizes
+    }
+
+    /// New centers = weighted mean of the active points of each cluster
+    /// (Algorithm 2 lines 12–13: local sums + one global vector sum).
+    /// Clusters with zero active weight keep their old center.
+    fn new_centers<C: Comm>(&self, comm: &C, active: &[u32]) -> Vec<Point<D>> {
+        let k = self.k;
+        let stride = D + 1;
+        let mut sums = vec![0.0f64; k * stride];
+        for &p in active {
+            let p = p as usize;
+            let c = self.assignment[p] as usize;
+            let w = self.weights[p];
+            for d in 0..D {
+                sums[c * stride + d] += w * self.points[p][d];
+            }
+            sums[c * stride + D] += w;
+        }
+        comm.allreduce_sum_f64(&mut sums);
+        (0..k)
+            .map(|c| {
+                let w = sums[c * stride + D];
+                if w > 0.0 {
+                    let mut coords = [0.0; D];
+                    for d in 0..D {
+                        coords[d] = sums[c * stride + d] / w;
+                    }
+                    Point::new(coords)
+                } else {
+                    self.centers[c]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Extension used by the solver: bounding box over an index subset.
+trait AabbIndexed<const D: usize> {
+    fn from_points_indexed(points: &[Point<D>], idx: &[u32]) -> Option<Aabb<D>>;
+}
+
+impl<const D: usize> AabbIndexed<D> for Aabb<D> {
+    fn from_points_indexed(points: &[Point<D>], idx: &[u32]) -> Option<Aabb<D>> {
+        let first = *idx.first()?;
+        let p0 = points[first as usize];
+        let mut bb = Aabb { min: p0, max: p0 };
+        for &i in &idx[1..] {
+            bb.grow(&points[i as usize]);
+        }
+        Some(bb)
+    }
+}
+
+/// Run balanced k-means (Algorithm 2) on the rank-local `points` with the
+/// given replicated `initial_centers`.
+///
+/// All ranks must call this collectively with identical `k`, `cfg`, and
+/// `initial_centers`. Returns the local assignment plus final replicated
+/// centers/influences and this rank's work counters.
+pub fn balanced_kmeans<const D: usize, C: Comm>(
+    comm: &C,
+    points: &[Point<D>],
+    weights: &[f64],
+    k: usize,
+    initial_centers: Vec<Point<D>>,
+    cfg: &Config,
+) -> KMeansOutput<D> {
+    assert_eq!(points.len(), weights.len());
+    assert_eq!(initial_centers.len(), k, "need exactly k initial centers");
+    assert!(k >= 1);
+    cfg.validate();
+    let n_local = points.len();
+
+    // Neighbourhood scale β(C) for the erosion sigmoid: the expected
+    // cluster cell size, 2·diag/k^(1/D). A deterministic proxy for the
+    // paper's "average cluster diameter" (DESIGN.md §2).
+    let bb = crate::pipeline::global_bbox(comm, points);
+    let local_w_max = weights.iter().copied().fold(0.0, f64::max);
+    let w_max = comm.allreduce(local_w_max, f64::max);
+    let diag = bb.diagonal();
+    let beta = 2.0 * diag / (k as f64).powf(1.0 / D as f64);
+    let delta_threshold = cfg.delta_threshold * diag;
+
+    let mut solver = Solver {
+        points,
+        weights,
+        k,
+        cfg,
+        centers: initial_centers,
+        influence: vec![1.0; k],
+        assignment: vec![0u32; n_local],
+        ub: vec![f64::INFINITY; n_local],
+        lb: vec![0.0; n_local],
+        w_max,
+        fractions: cfg.fractions(k),
+        stats: KMeansStats::default(),
+    };
+
+    // Sampling initialization (Sec. 4.5): a random local permutation whose
+    // prefix is the active sample, doubling every movement round.
+    let mut perm: Vec<u32> = (0..n_local as u32).collect();
+    let mut sample_len = if cfg.sampling_init {
+        let mut rng = SplitMix64::new(cfg.seed ^ (comm.rank() as u64).wrapping_mul(0xA24B_AED4));
+        rng.shuffle(&mut perm);
+        cfg.initial_sample.min(n_local)
+    } else {
+        n_local
+    };
+
+    let mut iterations_left = cfg.max_iterations;
+    while iterations_left > 0 {
+        iterations_left -= 1;
+        solver.stats.movement_iterations += 1;
+        let active = &perm[..sample_len];
+
+        // Everyone must agree whether this is still a sampling round.
+        let local_full = u64::from(sample_len >= n_local);
+        let all_full = comm.allreduce(local_full, u64::min) == 1;
+
+        solver.assign_and_balance(comm, active);
+
+        let new_centers = solver.new_centers(comm, active);
+        let delta: Vec<f64> =
+            solver.centers.iter().zip(&new_centers).map(|(a, b)| a.dist(b)).collect();
+        let max_delta = delta.iter().copied().fold(0.0, f64::max);
+
+        // Converged = centers stationary AND the balance constraint met.
+        // (A stationary-but-imbalanced state keeps iterating: the influence
+        // adaptation inside assign_and_balance continues to shift block
+        // boundaries even with fixed centers; cf. the paper's Sec. 4.5
+        // "balance was always achieved when allowing a sufficient number of
+        // balance and movement iterations".)
+        if all_full && max_delta < delta_threshold && solver.stats.balance_achieved {
+            solver.stats.converged = true;
+            break;
+        }
+
+        // Move centers; erode influences (Eqs. 2–3); relax bounds (Eqs.
+        // 4–5, corrected).
+        let old_influence = solver.influence.clone();
+        solver.centers = new_centers;
+        if cfg.influence_erosion {
+            for (inf, &d) in solver.influence.iter_mut().zip(&delta) {
+                *inf = erode(*inf, erosion_alpha(d, beta));
+            }
+        }
+        if cfg.hamerly_bounds {
+            let relax = Relaxation::movement(&delta, &old_influence, &solver.influence);
+            let n = solver.ub.len();
+            relax.apply(&mut solver.ub, &mut solver.lb, &solver.assignment, n);
+        }
+
+        if !all_full {
+            sample_len = (sample_len * 2).min(n_local);
+        }
+    }
+
+    // If the iteration budget ran out mid-sampling, points outside the
+    // sample have never been assigned: finish with one full pass. The
+    // decision must be global so the collectives stay matched.
+    let local_full = u64::from(sample_len >= n_local);
+    let all_full = comm.allreduce(local_full, u64::min) == 1;
+    if !all_full {
+        solver.assign_and_balance(comm, &perm);
+    }
+
+    KMeansOutput {
+        assignment: solver.assignment,
+        centers: solver.centers,
+        influence: solver.influence,
+        stats: solver.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_parcomm::SelfComm;
+
+    fn uniform_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect()
+    }
+
+    fn sfc_like_centers(points: &[Point<2>], k: usize) -> Vec<Point<2>> {
+        // Deterministic spread-out centers for tests: every (n/k)-th point.
+        let n = points.len();
+        (0..k).map(|i| points[(i * n / k + n / (2 * k)).min(n - 1)]).collect()
+    }
+
+    #[test]
+    fn k1_assigns_all_to_zero() {
+        let pts = uniform_points(200, 1);
+        let w = vec![1.0; 200];
+        let out = balanced_kmeans(&SelfComm, &pts, &w, 1, vec![pts[0]], &Config::default());
+        assert!(out.assignment.iter().all(|&b| b == 0));
+        assert_eq!(out.stats.final_imbalance, 0.0);
+    }
+
+    #[test]
+    fn balance_constraint_met_on_uniform_data() {
+        let n = 3000;
+        let pts = uniform_points(n, 2);
+        let w = vec![1.0; n];
+        let k = 8;
+        let cfg = Config::default();
+        let out = balanced_kmeans(&SelfComm, &pts, &w, k, sfc_like_centers(&pts, k), &cfg);
+        let mut sizes = vec![0.0; k];
+        for &b in &out.assignment {
+            sizes[b as usize] += 1.0;
+        }
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let avg = n as f64 / k as f64;
+        assert!(
+            max / avg - 1.0 <= cfg.epsilon + 1e-9,
+            "imbalance {} > ε, sizes {sizes:?}",
+            max / avg - 1.0
+        );
+    }
+
+    #[test]
+    fn balance_constraint_met_on_skewed_density() {
+        // Heavy cluster of points in a corner plus sparse rest: influence
+        // balancing must still achieve ε.
+        let mut rng = SplitMix64::new(3);
+        let mut pts = Vec::new();
+        for _ in 0..2000 {
+            pts.push(Point::new([rng.next_f64() * 0.1, rng.next_f64() * 0.1]));
+        }
+        for _ in 0..1000 {
+            pts.push(Point::new([rng.next_f64(), rng.next_f64()]));
+        }
+        let w = vec![1.0; pts.len()];
+        let k = 6;
+        let cfg = Config { max_iterations: 80, ..Config::default() };
+        let out = balanced_kmeans(&SelfComm, &pts, &w, k, sfc_like_centers(&pts, k), &cfg);
+        let mut sizes = vec![0.0; k];
+        for &b in &out.assignment {
+            sizes[b as usize] += 1.0;
+        }
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let avg = pts.len() as f64 / k as f64;
+        assert!(
+            max / avg - 1.0 <= cfg.epsilon + 1e-9,
+            "imbalance {} sizes {sizes:?}",
+            max / avg - 1.0
+        );
+    }
+
+    #[test]
+    fn weighted_balance() {
+        let n = 2000;
+        let pts = uniform_points(n, 4);
+        let mut rng = SplitMix64::new(5);
+        let w: Vec<f64> = (0..n).map(|_| 1.0 + 9.0 * rng.next_f64()).collect();
+        let k = 5;
+        let cfg = Config::default();
+        let out = balanced_kmeans(&SelfComm, &pts, &w, k, sfc_like_centers(&pts, k), &cfg);
+        let mut sizes = vec![0.0; k];
+        for (&b, &wi) in out.assignment.iter().zip(&w) {
+            sizes[b as usize] += wi;
+        }
+        let total: f64 = w.iter().sum();
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / (total / k as f64) - 1.0 <= cfg.epsilon + 1e-9, "{sizes:?}");
+    }
+
+    #[test]
+    fn optimizations_do_not_change_result() {
+        // With bounds/pruning on or off, the algorithm must produce the
+        // *identical* assignment (they are exact optimizations).
+        let n = 1500;
+        let pts = uniform_points(n, 6);
+        let w = vec![1.0; n];
+        let k = 7;
+        let centers = sfc_like_centers(&pts, k);
+        let base_cfg =
+            Config { sampling_init: false, ..Config::default() };
+        let on = balanced_kmeans(&SelfComm, &pts, &w, k, centers.clone(), &base_cfg);
+        let off = balanced_kmeans(
+            &SelfComm,
+            &pts,
+            &w,
+            k,
+            centers,
+            &Config { hamerly_bounds: false, bbox_pruning: false, ..base_cfg },
+        );
+        assert_eq!(on.assignment, off.assignment);
+        assert!(
+            on.stats.distance_evals < off.stats.distance_evals,
+            "optimizations must save distance evaluations ({} vs {})",
+            on.stats.distance_evals,
+            off.stats.distance_evals
+        );
+    }
+
+    #[test]
+    fn hamerly_skip_rate_is_high_in_late_iterations() {
+        // Sec. 4.3: "the innermost loop can be skipped in about 80 % of the
+        // cases". On uniform data with enough iterations the aggregate skip
+        // rate must be substantial.
+        let n = 4000;
+        let pts = uniform_points(n, 7);
+        let w = vec![1.0; n];
+        let k = 10;
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let out = balanced_kmeans(&SelfComm, &pts, &w, k, sfc_like_centers(&pts, k), &cfg);
+        assert!(
+            out.stats.skip_rate() > 0.4,
+            "skip rate unexpectedly low: {}",
+            out.stats.skip_rate()
+        );
+    }
+
+    #[test]
+    fn converges_and_reports_it() {
+        let pts = uniform_points(1000, 8);
+        let w = vec![1.0; 1000];
+        let cfg = Config { max_iterations: 200, ..Config::default() };
+        let out = balanced_kmeans(&SelfComm, &pts, &w, 4, sfc_like_centers(&pts, 4), &cfg);
+        assert!(out.stats.converged, "should converge within 200 iterations");
+        assert!(out.stats.movement_iterations < 200);
+    }
+
+    #[test]
+    fn rayon_path_matches_serial() {
+        let n = 6000; // above the rayon threshold
+        let pts = uniform_points(n, 9);
+        let w = vec![1.0; n];
+        let k = 6;
+        let centers = sfc_like_centers(&pts, k);
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let serial = balanced_kmeans(&SelfComm, &pts, &w, k, centers.clone(), &cfg);
+        let parallel = balanced_kmeans(
+            &SelfComm,
+            &pts,
+            &w,
+            k,
+            centers,
+            &Config { parallel_local: true, ..cfg },
+        );
+        assert_eq!(serial.assignment, parallel.assignment);
+    }
+
+    #[test]
+    fn sampling_init_assigns_every_point() {
+        let pts = uniform_points(3000, 10);
+        let w = vec![1.0; 3000];
+        // Few iterations: the run ends while sampling is still growing; the
+        // final full pass must still assign everything within balance.
+        let cfg = Config { max_iterations: 2, ..Config::default() };
+        let out = balanced_kmeans(&SelfComm, &pts, &w, 5, sfc_like_centers(&pts, 5), &cfg);
+        let mut sizes = vec![0usize; 5];
+        for &b in &out.assignment {
+            sizes[b as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "every block populated: {sizes:?}");
+    }
+
+    #[test]
+    fn heterogeneous_target_fractions() {
+        // Paper footnote 1: non-uniform block sizes for heterogeneous
+        // architectures. Ask for a 1/2 : 1/4 : 1/4 split.
+        let n = 4000;
+        let pts = uniform_points(n, 21);
+        let w = vec![1.0; n];
+        let fractions = vec![0.5, 0.25, 0.25];
+        let cfg = Config {
+            target_fractions: Some(fractions.clone()),
+            max_iterations: 150,
+            ..Config::default()
+        };
+        let out = balanced_kmeans(&SelfComm, &pts, &w, 3, sfc_like_centers(&pts, 3), &cfg);
+        let mut sizes = vec![0.0; 3];
+        for &b in &out.assignment {
+            sizes[b as usize] += 1.0;
+        }
+        for (c, &frac) in fractions.iter().enumerate() {
+            let target = n as f64 * frac;
+            assert!(
+                sizes[c] <= (1.0 + cfg.epsilon) * target + 1e-9,
+                "block {c}: {} > (1+ε)·{target}",
+                sizes[c]
+            );
+        }
+        assert!(out.stats.balance_achieved);
+        // The big block really is about twice the small ones.
+        assert!(sizes[0] > 1.8 * sizes[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal k")]
+    fn wrong_fraction_count_panics() {
+        let pts = uniform_points(100, 22);
+        let w = vec![1.0; 100];
+        let cfg = Config { target_fractions: Some(vec![0.5, 0.5]), ..Config::default() };
+        let _ = balanced_kmeans(&SelfComm, &pts, &w, 3, sfc_like_centers(&pts, 3), &cfg);
+    }
+
+    #[test]
+    fn influences_stay_positive_and_finite() {
+        let pts = uniform_points(2000, 11);
+        let w = vec![1.0; 2000];
+        let out =
+            balanced_kmeans(&SelfComm, &pts, &w, 9, sfc_like_centers(&pts, 9), &Config::default());
+        for &i in &out.influence {
+            assert!(i.is_finite() && i > 0.0, "influence degenerated: {i}");
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The full Geographer pipeline (Algorithm 2 including its bootstrap):
+//!
+//! 1. compute Hilbert indices of all points (over the global bounding box);
+//! 2. globally sort and redistribute the points by Hilbert index, so every
+//!    rank owns a spatially coherent, equally sized shard;
+//! 3. place the k initial centers at equal distances along the sorted
+//!    order (`C[i] = sortedPoints[i·n/k + n/2k]`);
+//! 4. run balanced k-means;
+//! 5. route the block assignments back to the original owners (evaluation
+//!    convenience; not part of the paper's timed pipeline).
+//!
+//! Per-phase wall-clock and communication counters are recorded — the
+//! "Components" breakdown of Sec. 5.3.2 reads them directly.
+
+use std::time::Instant;
+
+use geographer_dsort::{rebalance, sample_sort_by_key};
+use geographer_geometry::{Aabb, Point, WeightedPoints};
+use geographer_parcomm::{Comm, CommStats, SelfComm};
+use geographer_sfc::HilbertMapper;
+
+use crate::config::Config;
+use crate::kmeans::{balanced_kmeans, KMeansStats};
+
+/// Bits per axis of the bootstrap Hilbert curve.
+const PIPELINE_SFC_BITS: u32 = 16;
+
+/// Wall-clock seconds of each pipeline phase (per rank; ranks are
+/// synchronized by the collectives inside each phase, so these are
+/// effectively the maximum across ranks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineTimings {
+    /// Hilbert index computation.
+    pub sfc_index: f64,
+    /// Global sort + redistribution.
+    pub redistribute: f64,
+    /// Balanced k-means iterations.
+    pub kmeans: f64,
+    /// Routing assignments back to the original distribution (evaluation
+    /// only; excluded from `total`).
+    pub writeback: f64,
+}
+
+impl PipelineTimings {
+    /// The paper-comparable total: index + redistribute + k-means.
+    pub fn total(&self) -> f64 {
+        self.sfc_index + self.redistribute + self.kmeans
+    }
+}
+
+/// Result of a pipeline run on one rank.
+#[derive(Debug, Clone)]
+pub struct PipelineResult<const D: usize> {
+    /// Block id of every *input-local* point, in input order.
+    pub assignment: Vec<u32>,
+    /// Final cluster centers (replicated across ranks).
+    pub centers: Vec<Point<D>>,
+    /// Per-phase timings.
+    pub timings: PipelineTimings,
+    /// k-means work counters for this rank.
+    pub stats: KMeansStats,
+    /// Communication counters accumulated during the timed phases.
+    pub comm_stats: CommStats,
+}
+
+/// Global bounding box of a distributed point set (one collective).
+pub fn global_bbox<const D: usize, C: Comm>(comm: &C, points: &[Point<D>]) -> Aabb<D> {
+    let mut mins = vec![f64::INFINITY; D];
+    let mut maxs = vec![f64::NEG_INFINITY; D];
+    for p in points {
+        for d in 0..D {
+            mins[d] = mins[d].min(p[d]);
+            maxs[d] = maxs[d].max(p[d]);
+        }
+    }
+    comm.allreduce_min_f64(&mut mins);
+    comm.allreduce_max_f64(&mut maxs);
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for d in 0..D {
+        if mins[d] > maxs[d] {
+            // Globally empty input: unit box.
+            mins[d] = 0.0;
+            maxs[d] = 1.0;
+        }
+        lo[d] = mins[d];
+        hi[d] = maxs[d];
+    }
+    Aabb::new(Point::new(lo), Point::new(hi))
+}
+
+/// A point travelling through the sort/exchange, tagged with its Hilbert
+/// key and original global id.
+#[derive(Debug, Clone, Copy)]
+struct Tagged<const D: usize> {
+    key: u64,
+    id: u64,
+    coords: [f64; D],
+    weight: f64,
+}
+
+/// Run the full Geographer pipeline SPMD. `points`/`weights` are this
+/// rank's shard; the returned assignment is aligned with them.
+///
+/// # Panics
+/// If `k` exceeds the global number of points, or on inconsistent input
+/// lengths.
+pub fn partition_spmd<const D: usize, C: Comm>(
+    comm: &C,
+    points: &[Point<D>],
+    weights: &[f64],
+    k: usize,
+    cfg: &Config,
+) -> PipelineResult<D> {
+    assert_eq!(points.len(), weights.len());
+    cfg.validate();
+    let comm_before = comm.stats();
+
+    // Phase 1: Hilbert indices.
+    let t0 = Instant::now();
+    let bb = global_bbox(comm, points);
+    let mapper = HilbertMapper::new(bb, PIPELINE_SFC_BITS);
+    let local_n = points.len() as u64;
+    let id_offset = comm.exscan_sum_u64(local_n);
+    let global_n = comm.allreduce(local_n, |a, b| a + b);
+    assert!(k as u64 <= global_n.max(1), "k exceeds global point count");
+    let tagged: Vec<Tagged<D>> = points
+        .iter()
+        .zip(weights)
+        .enumerate()
+        .map(|(i, (p, &w))| Tagged {
+            key: mapper.key_of(p),
+            id: id_offset + i as u64,
+            coords: *p.coords(),
+            weight: w,
+        })
+        .collect();
+    let sfc_index = t0.elapsed().as_secs_f64();
+
+    // Phase 2: global sort by key + rebalance to n/p per rank.
+    let t1 = Instant::now();
+    let sorted = sample_sort_by_key(comm, tagged, |t| t.key);
+    let sorted = rebalance(comm, sorted);
+    let redistribute = t1.elapsed().as_secs_f64();
+
+    // Phase 3: initial centers along the curve, then balanced k-means.
+    let t2 = Instant::now();
+    let sorted_points: Vec<Point<D>> = sorted.iter().map(|t| Point::new(t.coords)).collect();
+    let sorted_weights: Vec<f64> = sorted.iter().map(|t| t.weight).collect();
+    let centers = initial_centers_from_sorted(comm, &sorted_points, k, global_n);
+    let out = balanced_kmeans(comm, &sorted_points, &sorted_weights, k, centers, cfg);
+    let kmeans = t2.elapsed().as_secs_f64();
+    let comm_after = comm.stats();
+
+    // Phase 4 (untimed in the paper): route assignments back to the
+    // original owners so callers see blocks in input order.
+    let t3 = Instant::now();
+    let assignment =
+        route_back(comm, &sorted, &out.assignment, id_offset, local_n as usize);
+    let writeback = t3.elapsed().as_secs_f64();
+
+    PipelineResult {
+        assignment,
+        centers: out.centers,
+        timings: PipelineTimings { sfc_index, redistribute, kmeans, writeback },
+        stats: out.stats,
+        comm_stats: comm_after.since(&comm_before),
+    }
+}
+
+/// Initial center selection (Algorithm 2, line 7): the points at global
+/// sorted positions `i·n/k + n/(2k)`.
+fn initial_centers_from_sorted<const D: usize, C: Comm>(
+    comm: &C,
+    sorted_points: &[Point<D>],
+    k: usize,
+    global_n: u64,
+) -> Vec<Point<D>> {
+    let my_offset = comm.exscan_sum_u64(sorted_points.len() as u64);
+    let my_end = my_offset + sorted_points.len() as u64;
+    let mut mine: Vec<(u64, [f64; D])> = Vec::new();
+    for i in 0..k as u64 {
+        let pos = (i * global_n) / k as u64 + global_n / (2 * k as u64);
+        let pos = pos.min(global_n.saturating_sub(1));
+        if pos >= my_offset && pos < my_end {
+            mine.push((i, *sorted_points[(pos - my_offset) as usize].coords()));
+        }
+    }
+    let mut all: Vec<(u64, [f64; D])> =
+        comm.allgather(mine).into_iter().flatten().collect();
+    all.sort_by_key(|(i, _)| *i);
+    all.dedup_by_key(|(i, _)| *i);
+    assert_eq!(all.len(), k, "every center position must be owned by some rank");
+    all.into_iter().map(|(_, c)| Point::new(c)).collect()
+}
+
+/// Send `(original id, block)` pairs back to the original owners (who are
+/// identified by the global id ranges of the input distribution).
+fn route_back<const D: usize, C: Comm>(
+    comm: &C,
+    sorted: &[Tagged<D>],
+    blocks: &[u32],
+    my_id_offset: u64,
+    my_input_len: usize,
+) -> Vec<u32> {
+    // Original ownership boundaries: allgather every rank's offset.
+    let offsets: Vec<u64> =
+        comm.allgather(vec![my_id_offset]).into_iter().map(|v| v[0]).collect();
+    let owner_of = |id: u64| -> usize {
+        // Last rank whose offset is <= id.
+        match offsets.binary_search(&id) {
+            Ok(r) => {
+                // Ranks with zero points share offsets; pick the last one
+                // whose range actually contains id (the one before the next
+                // strictly greater offset).
+                let mut r = r;
+                while r + 1 < offsets.len() && offsets[r + 1] <= id {
+                    r += 1;
+                }
+                r
+            }
+            Err(ins) => ins - 1,
+        }
+    };
+    let p = comm.size();
+    let mut sends: Vec<Vec<(u64, u32)>> = vec![Vec::new(); p];
+    for (t, &b) in sorted.iter().zip(blocks) {
+        sends[owner_of(t.id)].push((t.id, b));
+    }
+    let received = comm.alltoallv(sends);
+    let mut assignment = vec![u32::MAX; my_input_len];
+    for (id, b) in received.into_iter().flatten() {
+        let local = (id - my_id_offset) as usize;
+        assignment[local] = b;
+    }
+    assert!(
+        assignment.iter().all(|&b| b != u32::MAX),
+        "every input point must receive its block"
+    );
+    assignment
+}
+
+/// Shared-memory convenience wrapper: partition a whole weighted point set
+/// with Geographer in one call (single rank; enable `cfg.parallel_local`
+/// to use rayon for the assignment loops).
+pub fn partition<const D: usize>(
+    pts: &WeightedPoints<D>,
+    k: usize,
+    cfg: &Config,
+) -> PipelineResult<D> {
+    partition_spmd(&SelfComm, &pts.points, &pts.weights, k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_geometry::SplitMix64;
+    use geographer_parcomm::run_spmd;
+
+    fn uniform(n: usize, seed: u64) -> WeightedPoints<2> {
+        let mut rng = SplitMix64::new(seed);
+        WeightedPoints::unweighted(
+            (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect(),
+        )
+    }
+
+    #[test]
+    fn shared_memory_pipeline_balances() {
+        let wp = uniform(3000, 1);
+        let k = 8;
+        let cfg = Config::default();
+        let res = partition(&wp, k, &cfg);
+        assert_eq!(res.assignment.len(), 3000);
+        let mut sizes = vec![0.0; k];
+        for &b in &res.assignment {
+            sizes[b as usize] += 1.0;
+        }
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / (3000.0 / k as f64) - 1.0 <= cfg.epsilon + 1e-9, "{sizes:?}");
+        assert_eq!(res.centers.len(), k);
+        assert!(res.timings.total() > 0.0);
+    }
+
+    #[test]
+    fn spmd_assignment_is_aligned_with_input() {
+        // Each rank keeps its own input slice; the returned assignment must
+        // be positionally aligned (verified through block geometric
+        // coherence: a point and its block's center must be reasonably
+        // close, which fails immediately under misalignment).
+        let wp = uniform(2000, 2);
+        let k = 4;
+        let p = 4;
+        let chunk = wp.len() / p;
+        let pts = wp.points.clone();
+        let results = run_spmd(p, |c| {
+            let lo = c.rank() * chunk;
+            let hi = lo + chunk;
+            let w = vec![1.0; hi - lo];
+            partition_spmd(&c, &pts[lo..hi], &w, k, &Config::default())
+        });
+        for (r, res) in results.iter().enumerate() {
+            assert_eq!(res.assignment.len(), chunk);
+            for (i, &b) in res.assignment.iter().enumerate() {
+                let pnt = pts[r * chunk + i];
+                let center = res.centers[b as usize];
+                assert!(
+                    pnt.dist(&center) < 0.9,
+                    "rank {r} point {i} absurdly far from its center"
+                );
+            }
+        }
+        // All ranks must agree on centers.
+        for res in &results[1..] {
+            assert_eq!(res.centers.len(), results[0].centers.len());
+        }
+    }
+
+    #[test]
+    fn spmd_and_serial_agree_globally() {
+        // The pipeline is rank-count invariant by construction (global
+        // sort, identical center seeds, collective-driven iterations) as
+        // long as sampling init is off (its permutation is rank-local).
+        let wp = uniform(1200, 3);
+        let k = 5;
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let serial = partition(&wp, k, &cfg);
+        let pts = wp.points.clone();
+        let results = run_spmd(3, |c| {
+            let chunk = pts.len() / 3;
+            let lo = c.rank() * chunk;
+            let hi = lo + chunk;
+            let w = vec![1.0; hi - lo];
+            partition_spmd(&c, &pts[lo..hi], &w, k, &cfg)
+        });
+        let distributed: Vec<u32> =
+            results.into_iter().flat_map(|r| r.assignment).collect();
+        assert_eq!(distributed, serial.assignment);
+    }
+
+    #[test]
+    fn weighted_pipeline_balances_weight_not_count() {
+        let mut rng = SplitMix64::new(4);
+        let n = 2000;
+        let points: Vec<Point<2>> =
+            (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        // Left half heavy.
+        let weights: Vec<f64> =
+            points.iter().map(|p| if p[0] < 0.5 { 10.0 } else { 1.0 }).collect();
+        let wp = WeightedPoints::new(points, weights.clone());
+        let k = 4;
+        let cfg = Config::default();
+        let res = partition(&wp, k, &cfg);
+        let mut bw = vec![0.0; k];
+        for (&b, &w) in res.assignment.iter().zip(&weights) {
+            bw[b as usize] += w;
+        }
+        let total: f64 = weights.iter().sum();
+        let max = bw.iter().cloned().fold(0.0, f64::max);
+        assert!(max / (total / k as f64) - 1.0 <= cfg.epsilon + 1e-9, "{bw:?}");
+    }
+
+    #[test]
+    fn three_d_pipeline() {
+        let mut rng = SplitMix64::new(5);
+        let pts: Vec<Point<3>> = (0..1500)
+            .map(|_| Point::new([rng.next_f64(), rng.next_f64(), rng.next_f64()]))
+            .collect();
+        let wp = WeightedPoints::unweighted(pts);
+        let res = partition(&wp, 6, &Config::default());
+        let mut sizes = vec![0usize; 6];
+        for &b in &res.assignment {
+            sizes[b as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0));
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(max / (1500.0 / 6.0) - 1.0 <= 0.03 + 1e-9, "{sizes:?}");
+    }
+
+    #[test]
+    fn k_equal_n_every_point_its_own_block() {
+        let wp = uniform(12, 6);
+        let res = partition(&wp, 12, &Config { max_iterations: 5, ..Config::default() });
+        let mut seen = vec![0usize; 12];
+        for &b in &res.assignment {
+            seen[b as usize] += 1;
+        }
+        // ε = 3 % with unit weights and k = n means every block has exactly
+        // one point.
+        assert_eq!(seen, vec![1; 12], "{seen:?}");
+    }
+}

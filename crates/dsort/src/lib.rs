@@ -1,0 +1,548 @@
+//! Distributed sorting and selection over a [`Comm`].
+//!
+//! Two primitives back most of the workspace:
+//!
+//! * [`sample_sort_by_key`] + [`rebalance`] — the global sort-by-Hilbert-key
+//!   and redistribution step of Geographer's bootstrap (Algorithm 2, lines
+//!   4–6). The paper uses the schizophrenic quicksort of Axtmann et al.;
+//!   sample sort plays the same role (one splitter-selection round, one
+//!   personalized exchange) with simpler machinery. See DESIGN.md §3.
+//! * [`weighted_quantiles_f64`] / [`weighted_quantiles_u64`] — distributed
+//!   weighted quantile selection by bisection, the communication kernel
+//!   inside the RCB/RIB/MultiJagged/HSFC baselines (this is also how
+//!   Zoltan's RCB finds its median cuts: iterated weight counting).
+
+// Fixed-dimension coordinate loops index several parallel arrays at once;
+// iterator-zip rewrites of those loops are less readable, not more.
+#![allow(clippy::needless_range_loop)]
+
+use geographer_parcomm::Comm;
+
+/// Oversampling factor for splitter selection. Higher values buy better
+/// balance for one slightly larger allgather.
+const OVERSAMPLE: usize = 16;
+
+/// Globally sort `items` by `key` across all ranks of `comm`.
+///
+/// On return, each rank holds a contiguous run of the global sorted order,
+/// runs ascending with rank. Run lengths are approximately balanced (use
+/// [`rebalance`] for exact `n/p` splits). Stable within nothing — ties are
+/// ordered arbitrarily between ranks.
+pub fn sample_sort_by_key<T, C, K>(comm: &C, mut items: Vec<T>, key: K) -> Vec<T>
+where
+    T: Clone + Send + 'static,
+    C: Comm,
+    K: Fn(&T) -> u64,
+{
+    let p = comm.size();
+    items.sort_by_key(|t| key(t));
+    if p == 1 {
+        return items;
+    }
+
+    // Regular sampling of the locally sorted run.
+    let s = OVERSAMPLE * (p - 1);
+    let mut samples = Vec::with_capacity(s.min(items.len()));
+    if !items.is_empty() {
+        for j in 0..s {
+            let idx = (j * items.len()) / s;
+            samples.push(key(&items[idx]));
+        }
+    }
+    let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
+    all_samples.sort_unstable();
+
+    // p-1 splitters at regular positions in the gathered sample.
+    let splitters: Vec<u64> = if all_samples.is_empty() {
+        vec![0; p - 1]
+    } else {
+        (1..p)
+            .map(|r| all_samples[(r * all_samples.len()) / p])
+            .collect()
+    };
+
+    // Partition the local run by splitter and exchange.
+    let mut sends: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for item in items {
+        let k = key(&item);
+        // First splitter greater than k determines the destination.
+        let dest = splitters.partition_point(|&sp| sp <= k);
+        sends[dest].push(item);
+    }
+    let mut received: Vec<T> = comm.alltoallv(sends).into_iter().flatten().collect();
+    received.sort_by_key(|t| key(t));
+    received
+}
+
+/// Redistribute globally ordered data so rank `r` owns exactly the global
+/// slice `[r·n/p, (r+1)·n/p)`, preserving order. Input must already be
+/// globally ordered by rank (e.g. the output of [`sample_sort_by_key`]).
+pub fn rebalance<T, C>(comm: &C, items: Vec<T>) -> Vec<T>
+where
+    T: Clone + Send + 'static,
+    C: Comm,
+{
+    let p = comm.size();
+    if p == 1 {
+        return items;
+    }
+    let local_n = items.len() as u64;
+    let offset = comm.exscan_sum_u64(local_n);
+    let total = comm.allreduce(local_n, |a, b| a + b);
+    if total == 0 {
+        return items;
+    }
+
+    // Global element g belongs to the rank r with boundaries
+    // [r*total/p, (r+1)*total/p).
+    let owner = |g: u64| -> usize {
+        let r = ((g as u128 * p as u128) / total as u128) as usize;
+        r.min(p - 1)
+    };
+
+    let mut sends: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        sends[owner(offset + i as u64)].push(item);
+    }
+    // Concatenating by source rank preserves global order: sources hold
+    // ascending disjoint runs.
+    comm.alltoallv(sends).into_iter().flatten().collect()
+}
+
+/// Result tolerance of the floating-point bisection, relative to the value
+/// range.
+const F64_BISECT_ITERS: usize = 60;
+
+/// Distributed weighted quantiles over `f64` values.
+///
+/// For each `alpha` in `alphas` (each in `[0, 1]`), find a threshold `x`
+/// such that the global weight of `{v_i ≤ x}` is as close as possible to
+/// `alpha · total_weight`. All ranks receive identical thresholds.
+///
+/// One collective per bisection iteration, vectorized over all alphas —
+/// exactly the communication pattern of a multi-way Zoltan cut search.
+pub fn weighted_quantiles_f64<C: Comm>(
+    comm: &C,
+    values: &[f64],
+    weights: &[f64],
+    alphas: &[f64],
+) -> Vec<f64> {
+    assert_eq!(values.len(), weights.len());
+    if alphas.is_empty() {
+        return Vec::new();
+    }
+    // Global range (one min-reduce carries both bounds via the min(-max)
+    // trick) and global total weight.
+    let local_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let local_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut minmax = [local_min, -local_max];
+    comm.allreduce_min_f64(&mut minmax);
+    let (glo, ghi) = (minmax[0], -minmax[1]);
+    let mut wsum = [weights.iter().sum::<f64>()];
+    comm.allreduce_sum_f64(&mut wsum);
+    let total_w = wsum[0];
+
+    if !glo.is_finite() || !ghi.is_finite() || total_w <= 0.0 {
+        // Empty global input: any threshold works.
+        return vec![0.0; alphas.len()];
+    }
+
+    let m = alphas.len();
+    let mut lo = vec![glo; m];
+    let mut hi = vec![ghi; m];
+    for _ in 0..F64_BISECT_ITERS {
+        let mids: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| 0.5 * (a + b)).collect();
+        // Local weight at or below each mid.
+        let mut below = vec![0.0; m];
+        for (v, w) in values.iter().zip(weights) {
+            for (j, mid) in mids.iter().enumerate() {
+                if v <= mid {
+                    below[j] += w;
+                }
+            }
+        }
+        comm.allreduce_sum_f64(&mut below);
+        for j in 0..m {
+            if below[j] < alphas[j] * total_w {
+                lo[j] = mids[j];
+            } else {
+                hi[j] = mids[j];
+            }
+        }
+        if lo.iter().zip(&hi).all(|(a, b)| b - a <= f64::EPSILON * (ghi - glo).abs()) {
+            break;
+        }
+    }
+    lo.iter().zip(&hi).map(|(a, b)| 0.5 * (a + b)).collect()
+}
+
+/// One independent quantile problem inside a batched
+/// [`weighted_quantiles_grouped`] call.
+#[derive(Debug, Clone, Default)]
+pub struct QuantileGroup {
+    /// Local values of this group.
+    pub values: Vec<f64>,
+    /// Local weights, same length as `values`.
+    pub weights: Vec<f64>,
+    /// Quantile fractions to find for this group.
+    pub alphas: Vec<f64>,
+}
+
+/// Batched distributed weighted quantiles: solve many independent quantile
+/// problems (e.g. all region cuts of one recursion level of RCB or
+/// MultiJagged) with a *single* shared bisection — one allreduce per
+/// iteration regardless of the number of groups. This level-synchronous
+/// batching is what keeps the collective count of recursive partitioners at
+/// `O(levels)` instead of `O(k)`, the property behind their scaling
+/// behaviour in the paper's Fig. 3.
+pub fn weighted_quantiles_grouped<C: Comm>(
+    comm: &C,
+    groups: &[QuantileGroup],
+) -> Vec<Vec<f64>> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let g = groups.len();
+    // Batched range + weight reduction: one min-reduce (carrying min and
+    // -max per group) and one sum-reduce.
+    let mut minmax = vec![f64::INFINITY; 2 * g];
+    let mut wsum = vec![0.0f64; g];
+    for (j, grp) in groups.iter().enumerate() {
+        debug_assert_eq!(grp.values.len(), grp.weights.len());
+        for &v in &grp.values {
+            minmax[2 * j] = minmax[2 * j].min(v);
+            minmax[2 * j + 1] = minmax[2 * j + 1].min(-v);
+        }
+        wsum[j] = grp.weights.iter().sum();
+    }
+    comm.allreduce_min_f64(&mut minmax);
+    comm.allreduce_sum_f64(&mut wsum);
+
+    // Flattened per-alpha bisection state.
+    let offsets: Vec<usize> = {
+        let mut off = vec![0usize];
+        for grp in groups {
+            off.push(off.last().unwrap() + grp.alphas.len());
+        }
+        off
+    };
+    let total = *offsets.last().unwrap();
+    let mut lo = vec![0.0f64; total];
+    let mut hi = vec![0.0f64; total];
+    let mut valid = vec![false; total];
+    for (j, grp) in groups.iter().enumerate() {
+        let (glo, ghi) = (minmax[2 * j], -minmax[2 * j + 1]);
+        let ok = glo.is_finite() && ghi.is_finite() && wsum[j] > 0.0;
+        for (a, _) in grp.alphas.iter().enumerate() {
+            let idx = offsets[j] + a;
+            valid[idx] = ok;
+            lo[idx] = if ok { glo } else { 0.0 };
+            hi[idx] = if ok { ghi } else { 0.0 };
+        }
+    }
+
+    for _ in 0..F64_BISECT_ITERS {
+        let mids: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| 0.5 * (a + b)).collect();
+        let mut below = vec![0.0f64; total];
+        for (j, grp) in groups.iter().enumerate() {
+            let span = offsets[j]..offsets[j + 1];
+            for (v, w) in grp.values.iter().zip(&grp.weights) {
+                for idx in span.clone() {
+                    if v <= &mids[idx] {
+                        below[idx] += w;
+                    }
+                }
+            }
+        }
+        comm.allreduce_sum_f64(&mut below);
+        for (j, grp) in groups.iter().enumerate() {
+            for (a, &alpha) in grp.alphas.iter().enumerate() {
+                let idx = offsets[j] + a;
+                if !valid[idx] {
+                    continue;
+                }
+                if below[idx] < alpha * wsum[j] {
+                    lo[idx] = mids[idx];
+                } else {
+                    hi[idx] = mids[idx];
+                }
+            }
+        }
+    }
+
+    groups
+        .iter()
+        .enumerate()
+        .map(|(j, grp)| {
+            (0..grp.alphas.len())
+                .map(|a| {
+                    let idx = offsets[j] + a;
+                    0.5 * (lo[idx] + hi[idx])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Distributed weighted quantiles over `u64` keys (exact integer bisection).
+/// Semantics as [`weighted_quantiles_f64`], with thresholds `x` such that
+/// keys `≤ x` hold approximately `alpha · total_weight`.
+pub fn weighted_quantiles_u64<C: Comm>(
+    comm: &C,
+    keys: &[u64],
+    weights: &[f64],
+    alphas: &[f64],
+) -> Vec<u64> {
+    assert_eq!(keys.len(), weights.len());
+    if alphas.is_empty() {
+        return Vec::new();
+    }
+    let local_min = keys.iter().copied().min().unwrap_or(u64::MAX);
+    let local_max = keys.iter().copied().max().unwrap_or(0);
+    let glo = comm.allreduce(local_min, u64::min);
+    let ghi = comm.allreduce(local_max, u64::max);
+    let mut wsum = [weights.iter().sum::<f64>()];
+    comm.allreduce_sum_f64(&mut wsum);
+    let total_w = wsum[0];
+    if total_w <= 0.0 || glo > ghi {
+        return vec![0; alphas.len()];
+    }
+
+    let m = alphas.len();
+    let mut lo = vec![glo; m]; // invariant: weight(<= lo-1) < target  (loose)
+    let mut hi = vec![ghi; m]; // invariant: weight(<= hi) >= target
+    while lo.iter().zip(&hi).any(|(a, b)| a < b) {
+        let mids: Vec<u64> = lo.iter().zip(&hi).map(|(a, b)| a + (b - a) / 2).collect();
+        let mut below = vec![0.0; m];
+        for (k, w) in keys.iter().zip(weights) {
+            for (j, mid) in mids.iter().enumerate() {
+                if k <= mid {
+                    below[j] += w;
+                }
+            }
+        }
+        comm.allreduce_sum_f64(&mut below);
+        for j in 0..m {
+            if lo[j] < hi[j] {
+                if below[j] < alphas[j] * total_w {
+                    lo[j] = mids[j] + 1;
+                } else {
+                    hi[j] = mids[j];
+                }
+            }
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_parcomm::{run_spmd, SelfComm};
+
+    fn seq_weighted_quantile(mut vw: Vec<(f64, f64)>, alpha: f64) -> f64 {
+        vw.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = vw.iter().map(|x| x.1).sum();
+        let mut acc = 0.0;
+        for (v, w) in &vw {
+            acc += w;
+            if acc >= alpha * total {
+                return *v;
+            }
+        }
+        vw.last().unwrap().0
+    }
+
+    #[test]
+    fn sample_sort_single_rank_is_plain_sort() {
+        let items = vec![5u64, 3, 9, 1];
+        let sorted = sample_sort_by_key(&SelfComm, items, |&x| x);
+        assert_eq!(sorted, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sample_sort_multi_rank_matches_sequential() {
+        let p = 4;
+        let per_rank = 500;
+        let results = run_spmd(p, |c| {
+            // Deterministic pseudo-random input, different per rank.
+            let items: Vec<u64> = (0..per_rank)
+                .map(|i| {
+                    let x = (c.rank() as u64 * 1_000_003 + i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    x >> 16
+                })
+                .collect();
+            let mine = sample_sort_by_key(&c, items.clone(), |&x| x);
+            (items, mine)
+        });
+        let mut expected: Vec<u64> = results.iter().flat_map(|(inp, _)| inp.clone()).collect();
+        expected.sort_unstable();
+        let got: Vec<u64> = results.iter().flat_map(|(_, out)| out.clone()).collect();
+        assert_eq!(got, expected, "concatenated rank outputs must equal global sort");
+        // Balance check: no rank should be grossly overloaded.
+        for (_, out) in &results {
+            assert!(out.len() < 3 * per_rank, "splitters badly unbalanced");
+        }
+    }
+
+    #[test]
+    fn sample_sort_with_heavy_duplicates() {
+        let results = run_spmd(3, |c| {
+            let items: Vec<u64> = (0..300).map(|i| (i % 4) as u64).collect();
+            sample_sort_by_key(&c, items, |&x| x)
+        });
+        let got: Vec<u64> = results.iter().flatten().copied().collect();
+        assert_eq!(got.len(), 900);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rebalance_equalizes_counts_and_preserves_order() {
+        let results = run_spmd(4, |c| {
+            // Rank r starts with r*10 elements of a globally ordered sequence.
+            let start: u64 = (0..c.rank() as u64).map(|r| r * 10).sum();
+            let items: Vec<u64> = (0..(c.rank() as u64 * 10)).map(|i| start + i).collect();
+            rebalance(&c, items)
+        });
+        let total: usize = results.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 60);
+        for r in &results {
+            assert!(r.len() == 15, "each rank must own n/p elements, got {}", r.len());
+        }
+        let flat: Vec<u64> = results.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebalance_empty_input() {
+        let results = run_spmd(3, |c| rebalance::<u64, _>(&c, Vec::new()));
+        assert!(results.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn f64_quantiles_match_sequential() {
+        let p = 3;
+        let per_rank = 200;
+        let results = run_spmd(p, |c| {
+            let values: Vec<f64> = (0..per_rank)
+                .map(|i| ((c.rank() * per_rank + i) as f64 * 0.731).sin() * 100.0)
+                .collect();
+            let weights: Vec<f64> = (0..per_rank).map(|i| 1.0 + (i % 5) as f64).collect();
+            let q = weighted_quantiles_f64(&c, &values, &weights, &[0.25, 0.5, 0.9]);
+            (values, weights, q)
+        });
+        let all: Vec<(f64, f64)> = results
+            .iter()
+            .flat_map(|(v, w, _)| v.iter().copied().zip(w.iter().copied()))
+            .collect();
+        let q = &results[0].2;
+        for (j, &alpha) in [0.25, 0.5, 0.9].iter().enumerate() {
+            let exact = seq_weighted_quantile(all.clone(), alpha);
+            assert!(
+                (q[j] - exact).abs() < 1.0,
+                "alpha={alpha}: got {} want {exact}",
+                q[j]
+            );
+            // The defining property: weight below threshold ≈ alpha.
+            let total: f64 = all.iter().map(|x| x.1).sum();
+            let below: f64 = all.iter().filter(|x| x.0 <= q[j]).map(|x| x.1).sum();
+            assert!((below / total - alpha).abs() < 0.02, "alpha={alpha} below={below}");
+        }
+        // All ranks agree.
+        for (_, _, qr) in &results {
+            assert_eq!(qr, q);
+        }
+    }
+
+    #[test]
+    fn u64_quantiles_split_weight() {
+        let results = run_spmd(4, |c| {
+            let keys: Vec<u64> = (0..100).map(|i| (c.rank() * 100 + i) as u64).collect();
+            let weights = vec![1.0; 100];
+            weighted_quantiles_u64(&c, &keys, &weights, &[0.5])
+        });
+        let t = results[0][0];
+        // 400 unit-weight keys 0..400; the median threshold is ~199.
+        assert!((195..=205).contains(&(t as i64)), "median threshold {t}");
+        for r in &results {
+            assert_eq!(r[0], t);
+        }
+    }
+
+    #[test]
+    fn quantiles_empty_input_all_ranks() {
+        let results = run_spmd(2, |c| {
+            (
+                weighted_quantiles_f64(&c, &[], &[], &[0.5]),
+                weighted_quantiles_u64(&c, &[], &[], &[0.5]),
+            )
+        });
+        assert_eq!(results[0].0, vec![0.0]);
+        assert_eq!(results[0].1, vec![0]);
+    }
+
+    #[test]
+    fn grouped_quantiles_match_single_group_calls() {
+        let results = run_spmd(3, |c| {
+            let mk = |seed: u64, n: usize| -> (Vec<f64>, Vec<f64>) {
+                let vals: Vec<f64> = (0..n)
+                    .map(|i| ((seed + c.rank() as u64 * 31 + i as u64) as f64 * 0.37).sin())
+                    .collect();
+                let w: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+                (vals, w)
+            };
+            let (v1, w1) = mk(1, 120);
+            let (v2, w2) = mk(2, 80);
+            let grouped = weighted_quantiles_grouped(
+                &c,
+                &[
+                    QuantileGroup { values: v1.clone(), weights: w1.clone(), alphas: vec![0.3, 0.7] },
+                    QuantileGroup { values: v2.clone(), weights: w2.clone(), alphas: vec![0.5] },
+                ],
+            );
+            let single1 = weighted_quantiles_f64(&c, &v1, &w1, &[0.3, 0.7]);
+            let single2 = weighted_quantiles_f64(&c, &v2, &w2, &[0.5]);
+            (grouped, single1, single2)
+        });
+        for (grouped, s1, s2) in results {
+            for (a, b) in grouped[0].iter().zip(&s1) {
+                assert!((a - b).abs() < 1e-9, "group0: {a} vs {b}");
+            }
+            assert!((grouped[1][0] - s2[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grouped_quantiles_handle_empty_group() {
+        let results = run_spmd(2, |c| {
+            weighted_quantiles_grouped(
+                &c,
+                &[
+                    QuantileGroup { values: vec![], weights: vec![], alphas: vec![0.5] },
+                    QuantileGroup {
+                        values: vec![c.rank() as f64],
+                        weights: vec![1.0],
+                        alphas: vec![0.5],
+                    },
+                ],
+            )
+        });
+        assert_eq!(results[0][0], vec![0.0], "empty group falls back to 0");
+        assert!((results[0][1][0] - 0.0).abs() < 0.51, "median of {{0,1}}");
+    }
+
+    #[test]
+    fn quantiles_skewed_weights() {
+        // One huge-weight element dominates: every quantile ≤ its mass lands
+        // on it.
+        let q = weighted_quantiles_f64(
+            &SelfComm,
+            &[1.0, 2.0, 3.0],
+            &[1.0, 100.0, 1.0],
+            &[0.5, 0.95],
+        );
+        assert!((q[0] - 2.0).abs() < 1e-6);
+        assert!((q[1] - 2.0).abs() < 1e-6);
+    }
+}

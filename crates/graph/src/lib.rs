@@ -1,0 +1,21 @@
+//! Graphs and partition-quality metrics.
+//!
+//! The partitioners in this workspace are geometric — they never look at
+//! edges — but the paper evaluates their output with graph metrics
+//! (Sec. 2): edge cut, maximum/total communication volume, block diameter
+//! (iFUB lower bound), and balance. This crate provides the compressed
+//! sparse row graph type, the traversals, and those metrics.
+
+// Fixed-dimension coordinate loops index several parallel arrays at once;
+// iterator-zip rewrites of those loops are less readable, not more.
+#![allow(clippy::needless_range_loop)]
+
+pub mod csr;
+pub mod metrics;
+pub mod traversal;
+
+pub use csr::CsrGraph;
+pub use metrics::{
+    evaluate_partition, geometric_mean, harmonic_mean_diameter, imbalance, PartitionMetrics,
+};
+pub use traversal::{bfs_distances, connected_components, diameter_lower_bound};

@@ -1,0 +1,257 @@
+//! Partition quality metrics from Sec. 2 of the paper.
+//!
+//! For a partition Π = (V₁, …, V_k):
+//!
+//! * edge cut — number of edges with endpoints in different blocks;
+//! * communication volume of a block,
+//!   `comm(Vi) = Σ_{v∈Vi} |{Vj ≠ Vi : v has a neighbour in Vj}|` —
+//!   the number of boundary values Vi must send in an SpMV;
+//! * diameter of a block — iFUB-style lower bound on the induced subgraph,
+//!   infinite (None) if a block is disconnected;
+//! * imbalance — `max_i w(Vi) / ⌈w(V)/k⌉ − 1`.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrGraph;
+use crate::traversal::diameter_lower_bound;
+
+/// All per-partition metrics the experiments report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMetrics {
+    /// Number of blocks the metrics were computed for.
+    pub k: usize,
+    /// Edge cut (each cut edge counted once).
+    pub edge_cut: u64,
+    /// Per-block communication volume.
+    pub comm_volume: Vec<u64>,
+    /// Max over blocks of the communication volume.
+    pub max_comm_volume: u64,
+    /// Sum over blocks of the communication volume.
+    pub total_comm_volume: u64,
+    /// Per-block diameter lower bound; `None` = disconnected block.
+    pub diameters: Vec<Option<u32>>,
+    /// Harmonic mean of block diameters (see [`harmonic_mean_diameter`]).
+    pub harmonic_diameter: f64,
+    /// Weighted imbalance `max_i w(Vi)/(w(V)/k) − 1`.
+    pub imbalance: f64,
+}
+
+/// Weighted imbalance of an assignment: `max_i w(Vi) / (w(V)/k) − 1`.
+/// Zero means perfectly balanced; the balance constraint of the paper is
+/// `imbalance ≤ ε`.
+pub fn imbalance(assignment: &[u32], weights: &[f64], k: usize) -> f64 {
+    assert_eq!(assignment.len(), weights.len());
+    assert!(k > 0);
+    let mut block_w = vec![0.0; k];
+    for (&b, &w) in assignment.iter().zip(weights) {
+        block_w[b as usize] += w;
+    }
+    let total: f64 = block_w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let avg = total / k as f64;
+    let max = block_w.iter().copied().fold(0.0, f64::max);
+    max / avg - 1.0
+}
+
+/// Geometric mean of strictly positive values (the paper's aggregation for
+/// everything except the diameter).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Harmonic mean over block diameters, treating disconnected blocks as
+/// infinite diameter (contributing 0 to the reciprocal sum) — exactly the
+/// paper's workaround: "In some cases, blocks are disconnected and thus
+/// have an infinite diameter. To avoid a potentially infinite mean
+/// diameter, we use the harmonic instead of the geometric mean."
+pub fn harmonic_mean_diameter(diameters: &[Option<u32>]) -> f64 {
+    assert!(!diameters.is_empty());
+    let recip_sum: f64 = diameters
+        .iter()
+        .map(|d| match d {
+            Some(0) | None => 0.0,
+            Some(d) => 1.0 / *d as f64,
+        })
+        .sum();
+    if recip_sum == 0.0 {
+        f64::INFINITY
+    } else {
+        diameters.len() as f64 / recip_sum
+    }
+}
+
+/// Compute every metric for `assignment` (block id per vertex) on `g`.
+///
+/// `weights` are the node weights used for the balance constraint (pass all
+/// ones for the unweighted case). Diameters are computed per block in
+/// parallel — they dominate the evaluation cost on larger instances.
+pub fn evaluate_partition(
+    g: &CsrGraph,
+    assignment: &[u32],
+    weights: &[f64],
+    k: usize,
+) -> PartitionMetrics {
+    assert_eq!(assignment.len(), g.n());
+    assert_eq!(weights.len(), g.n());
+    assert!(assignment.iter().all(|&b| (b as usize) < k), "block id out of range");
+
+    // Edge cut + communication volume in one pass.
+    let mut edge_cut = 0u64;
+    let mut comm_volume = vec![0u64; k];
+    let mut seen_blocks: Vec<u32> = Vec::with_capacity(16);
+    for v in 0..g.n() as u32 {
+        let bv = assignment[v as usize];
+        seen_blocks.clear();
+        for &u in g.neighbors(v) {
+            let bu = assignment[u as usize];
+            if bu != bv {
+                if v < u {
+                    edge_cut += 1;
+                }
+                if !seen_blocks.contains(&bu) {
+                    seen_blocks.push(bu);
+                }
+            } else if v < u {
+                // internal edge
+            }
+        }
+        comm_volume[bv as usize] += seen_blocks.len() as u64;
+    }
+    let max_comm_volume = comm_volume.iter().copied().max().unwrap_or(0);
+    let total_comm_volume = comm_volume.iter().sum();
+
+    // Per-block vertex lists, then parallel diameter bounds.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (v, &b) in assignment.iter().enumerate() {
+        members[b as usize].push(v as u32);
+    }
+    let diameters: Vec<Option<u32>> = members
+        .par_iter()
+        .map(|verts| {
+            if verts.is_empty() {
+                return None;
+            }
+            let sub = g.induced_subgraph(verts);
+            diameter_lower_bound(&sub)
+        })
+        .collect();
+    let harmonic_diameter = harmonic_mean_diameter(&diameters);
+
+    PartitionMetrics {
+        k,
+        edge_cut,
+        comm_volume,
+        max_comm_volume,
+        total_comm_volume,
+        diameters,
+        harmonic_diameter,
+        imbalance: imbalance(assignment, weights, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2x4 grid, split into left/right halves of 4 vertices each:
+    ///
+    /// ```text
+    ///   0 - 1 | 2 - 3
+    ///   |   | | |   |
+    ///   4 - 5 | 6 - 7
+    /// ```
+    fn grid_2x4() -> (CsrGraph, Vec<u32>) {
+        let edges = [
+            (0, 1), (1, 2), (2, 3),
+            (4, 5), (5, 6), (6, 7),
+            (0, 4), (1, 5), (2, 6), (3, 7),
+        ];
+        let g = CsrGraph::from_edges(8, &edges);
+        let assignment = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        (g, assignment)
+    }
+
+    #[test]
+    fn metrics_on_split_grid() {
+        let (g, asg) = grid_2x4();
+        let w = vec![1.0; 8];
+        let m = evaluate_partition(&g, &asg, &w, 2);
+        // Cut edges: (1,2) and (5,6).
+        assert_eq!(m.edge_cut, 2);
+        // Vertices 1 and 5 each see one foreign block; same for 2 and 6.
+        assert_eq!(m.comm_volume, vec![2, 2]);
+        assert_eq!(m.max_comm_volume, 2);
+        assert_eq!(m.total_comm_volume, 4);
+        // Each half is a 2x2 square: diameter 2.
+        assert_eq!(m.diameters, vec![Some(2), Some(2)]);
+        assert!((m.harmonic_diameter - 2.0).abs() < 1e-12);
+        assert_eq!(m.imbalance, 0.0);
+    }
+
+    #[test]
+    fn comm_volume_counts_distinct_blocks() {
+        // Star: center 0 with leaves in three different blocks.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let asg = vec![0, 1, 2, 3];
+        let m = evaluate_partition(&g, &asg, &[1.0; 4], 4);
+        // Center sees 3 foreign blocks, each leaf sees 1.
+        assert_eq!(m.comm_volume, vec![3, 1, 1, 1]);
+        assert_eq!(m.edge_cut, 3);
+    }
+
+    #[test]
+    fn disconnected_block_has_infinite_diameter() {
+        // Path 0-1-2-3 with blocks {0,3} and {1,2}: block 0 is disconnected.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let asg = vec![0, 1, 1, 0];
+        let m = evaluate_partition(&g, &asg, &[1.0; 4], 2);
+        assert_eq!(m.diameters[0], None);
+        assert_eq!(m.diameters[1], Some(1));
+        assert!(m.harmonic_diameter.is_finite(), "harmonic mean absorbs infinity");
+    }
+
+    #[test]
+    fn imbalance_simple() {
+        // 3 vs 1 vertices in k=2: max/avg - 1 = 3/2 - 1 = 0.5.
+        let asg = vec![0, 0, 0, 1];
+        assert!((imbalance(&asg, &[1.0; 4], 2) - 0.5).abs() < 1e-12);
+        // Weighted: weights flip the balance.
+        let w = vec![1.0, 1.0, 1.0, 3.0];
+        assert!((imbalance(&asg, &w, 2) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_all_infinite() {
+        assert!(harmonic_mean_diameter(&[None, None]).is_infinite());
+        assert!((harmonic_mean_diameter(&[Some(2), Some(2)]) - 2.0).abs() < 1e-12);
+        // Zero-diameter blocks (singletons) are treated like infinite —
+        // they contribute nothing to the reciprocal sum.
+        let hm = harmonic_mean_diameter(&[Some(0), Some(4)]);
+        assert!((hm - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_block_allowed() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let m = evaluate_partition(&g, &[0, 0], &[1.0; 2], 2);
+        assert_eq!(m.diameters[1], None);
+        assert_eq!(m.comm_volume[1], 0);
+        assert!((m.imbalance - 1.0).abs() < 1e-12);
+    }
+}

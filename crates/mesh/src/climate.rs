@@ -1,0 +1,111 @@
+//! 2.5D climate-simulation meshes (the FESOM analogue).
+//!
+//! The paper's motivating application (Sec. 1): atmosphere/ocean meshes are
+//! partitioned in 2D, but each 2D vertex carries a *node weight* equal to
+//! its number of 3D grid points (ocean depth / vertical layers). The two
+//! properties that stress a partitioner — strongly non-uniform vertex
+//! density (coastal refinement) and non-uniform node weights — are
+//! reproduced here:
+//!
+//! * a synthetic "ocean" with a few continents (disks) cut out;
+//! * vertex density increasing towards coastlines;
+//! * node weight proportional to water depth (deep basins = many layers),
+//!   shallow near coasts.
+
+use geographer_geometry::Point;
+
+use crate::delaunay::delaunay_edges;
+use crate::density::sample_by_density;
+use crate::Mesh;
+use geographer_graph::CsrGraph;
+
+/// Continent disks: (center_x, center_y, radius).
+const CONTINENTS: [(f64, f64, f64); 3] =
+    [(0.25, 0.3, 0.18), (0.7, 0.65, 0.22), (0.15, 0.85, 0.1)];
+
+/// Signed distance to the nearest coastline; negative inside a continent.
+fn coast_distance(p: Point<2>) -> f64 {
+    CONTINENTS
+        .iter()
+        .map(|&(cx, cy, r)| ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt() - r)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Generate a 2.5D climate mesh with `n` ocean vertices.
+///
+/// Node weights model the vertical-layer count: `1 + depth_layers` where
+/// depth grows with distance from the coast, capped at `max_layers`.
+pub fn climate25d(n: usize, max_layers: u32, seed: u64) -> Mesh<2> {
+    assert!(max_layers >= 1);
+    let density = |p: Point<2>| {
+        let d = coast_distance(p);
+        if d <= 0.0 {
+            return 0.0; // land
+        }
+        // Fine near the coast, coarser in the open ocean.
+        (1.0 - d * 2.5).clamp(0.0, 1.0).powi(2).max(0.03)
+    };
+    let points = sample_by_density(n, seed, density);
+    let weights: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            let d = coast_distance(*p).max(0.0);
+            // Depth ramps from the coast into basins.
+            1.0 + (d * 3.0 * max_layers as f64).min(max_layers as f64 - 1.0)
+        })
+        .collect();
+    let edges = delaunay_edges(&points);
+    let graph = CsrGraph::from_edges(n, &edges);
+    Mesh { points, weights, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_vertices_on_land() {
+        let mesh = climate25d(800, 40, 1);
+        mesh.validate();
+        for p in &mesh.points {
+            assert!(coast_distance(*p) > 0.0, "vertex on land at {p:?}");
+        }
+    }
+
+    #[test]
+    fn weights_grow_away_from_coast() {
+        let mesh = climate25d(1000, 40, 2);
+        // Partition vertices into near-coast and open-ocean; mean weight
+        // must be clearly higher off-shore.
+        let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0.0, 0, 0.0, 0);
+        for (p, w) in mesh.points.iter().zip(&mesh.weights) {
+            if coast_distance(*p) < 0.05 {
+                near_sum += w;
+                near_n += 1;
+            } else if coast_distance(*p) > 0.2 {
+                far_sum += w;
+                far_n += 1;
+            }
+        }
+        assert!(near_n > 0 && far_n > 0);
+        assert!(far_sum / far_n as f64 > 2.0 * near_sum / near_n as f64);
+    }
+
+    #[test]
+    fn weights_bounded_by_layers() {
+        let max_layers = 12;
+        let mesh = climate25d(500, max_layers, 3);
+        for &w in &mesh.weights {
+            assert!(w >= 1.0 && w <= max_layers as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn mesh_mostly_connected() {
+        // Continents can split the ocean locally, but the Delaunay graph of
+        // the sampled points is a triangulation of all points — connected.
+        let mesh = climate25d(600, 20, 4);
+        let (cc, _) = geographer_graph::connected_components(&mesh.graph);
+        assert_eq!(cc, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Structured grid meshes (2D quad grids and 3D hex grids with optional
+//! coordinate jitter). The 3D grids stand in for the structured parts of
+//! the Alya test cases.
+
+use geographer_geometry::{Point, SplitMix64};
+use geographer_graph::CsrGraph;
+
+use crate::Mesh;
+
+/// `w × h` 2D grid graph on unit-spaced coordinates, with jitter
+/// `∈ [0, 0.5)` of the spacing applied to interior coordinates.
+pub fn grid2d(w: usize, h: usize, jitter: f64, seed: u64) -> Mesh<2> {
+    assert!(w >= 1 && h >= 1);
+    assert!((0.0..0.5).contains(&jitter));
+    let mut rng = SplitMix64::new(seed);
+    let n = w * h;
+    let mut points = Vec::with_capacity(n);
+    for y in 0..h {
+        for x in 0..w {
+            let jx = if jitter > 0.0 { (rng.next_f64() - 0.5) * 2.0 * jitter } else { 0.0 };
+            let jy = if jitter > 0.0 { (rng.next_f64() - 0.5) * 2.0 * jitter } else { 0.0 };
+            points.push(Point::new([x as f64 + jx, y as f64 + jy]));
+        }
+    }
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as u32;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w as u32));
+            }
+        }
+    }
+    let graph = CsrGraph::from_edges(n, &edges);
+    Mesh { points, weights: vec![1.0; n], graph }
+}
+
+/// `w × h × d` 3D grid graph, with jitter as in [`grid2d`].
+pub fn grid3d(w: usize, h: usize, d: usize, jitter: f64, seed: u64) -> Mesh<3> {
+    assert!(w >= 1 && h >= 1 && d >= 1);
+    assert!((0.0..0.5).contains(&jitter));
+    let mut rng = SplitMix64::new(seed);
+    let n = w * h * d;
+    let mut points = Vec::with_capacity(n);
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let mut c = [x as f64, y as f64, z as f64];
+                if jitter > 0.0 {
+                    for v in &mut c {
+                        *v += (rng.next_f64() - 0.5) * 2.0 * jitter;
+                    }
+                }
+                points.push(Point::new(c));
+            }
+        }
+    }
+    let idx = |x: usize, y: usize, z: usize| (z * h * w + y * w + x) as u32;
+    let mut edges = Vec::with_capacity(3 * n);
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let v = idx(x, y, z);
+                if x + 1 < w {
+                    edges.push((v, idx(x + 1, y, z)));
+                }
+                if y + 1 < h {
+                    edges.push((v, idx(x, y + 1, z)));
+                }
+                if z + 1 < d {
+                    edges.push((v, idx(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    let graph = CsrGraph::from_edges(n, &edges);
+    Mesh { points, weights: vec![1.0; n], graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_structure() {
+        let mesh = grid2d(4, 3, 0.0, 0);
+        mesh.validate();
+        assert_eq!(mesh.n(), 12);
+        // Edges: 3*3 horizontal rows? horizontal: (4-1)*3 = 9, vertical: 4*(3-1) = 8.
+        assert_eq!(mesh.m(), 17);
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(mesh.graph.degree(0), 2);
+        assert_eq!(mesh.graph.degree(5), 4);
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let mesh = grid3d(3, 3, 3, 0.0, 0);
+        mesh.validate();
+        assert_eq!(mesh.n(), 27);
+        // 3 directions × 2×3×3 per direction = 54 edges.
+        assert_eq!(mesh.m(), 54);
+        // Center vertex (1,1,1) has degree 6.
+        assert_eq!(mesh.graph.degree(13), 6);
+    }
+
+    #[test]
+    fn jitter_moves_points_but_keeps_graph() {
+        let a = grid2d(5, 5, 0.0, 1);
+        let b = grid2d(5, 5, 0.3, 1);
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(a.points, b.points);
+    }
+
+    #[test]
+    fn degenerate_1d_grids() {
+        let mesh = grid2d(6, 1, 0.0, 0);
+        assert_eq!(mesh.m(), 5);
+        let mesh = grid3d(1, 1, 4, 0.0, 0);
+        assert_eq!(mesh.m(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! SPMD communication layer: the workspace's stand-in for MPI.
+//!
+//! The paper's Geographer is an MPI code built on LAMA; every communication
+//! it performs is a collective (global reductions, one global sort/exchange).
+//! This crate provides the same programming model for a single shared-memory
+//! machine: a [`Comm`] trait with MPI-shaped collectives, implemented by
+//!
+//! * [`SelfComm`] — the trivial single-rank communicator, and
+//! * [`thread::ThreadComm`] — `p` OS threads acting as ranks, with real
+//!   synchronization (sense-reversing barriers) and per-collective byte
+//!   accounting.
+//!
+//! Algorithms written against [`Comm`] are structured exactly like their MPI
+//! counterparts: each rank owns a shard of the data and all cross-rank data
+//! flow is explicit. The byte/round counters feed the α–β cost model used by
+//! the scaling experiments (see DESIGN.md §3: on a 1-core CI box, wall-clock
+//! speedup is not observable, so scaling figures report modeled time from
+//! measured communication volume and per-rank work).
+
+pub mod stats;
+pub mod thread;
+
+pub use stats::CommStats;
+pub use thread::{run_spmd, ThreadComm};
+
+/// An MPI-like communicator. All collectives must be called by every rank
+/// of the communicator, in the same order (the usual MPI contract).
+pub trait Comm {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Gather every rank's `local` vector on every rank
+    /// (`result[r]` = rank `r`'s contribution).
+    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
+
+    /// Personalized all-to-all: `sends[r]` goes to rank `r`; the result's
+    /// entry `s` is what rank `s` sent to this rank.
+    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>>;
+
+    /// Snapshot of communication counters (monotone; diff two snapshots to
+    /// measure a phase). The trivial communicator reports zeros.
+    fn stats(&self) -> CommStats {
+        CommStats::default()
+    }
+
+    // ---- derived collectives -------------------------------------------
+
+    /// Generic allreduce with a commutative, associative `combine`.
+    fn allreduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(vec![value]);
+        let mut it = all.into_iter().map(|mut v| v.pop().expect("one element per rank"));
+        let first = it.next().expect("at least one rank");
+        it.fold(first, combine)
+    }
+
+    /// Element-wise global sum of a vector, in place. This is the
+    /// `globalSumVector` of Algorithm 1 (the only communication inside the
+    /// assign-and-balance loop).
+    fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        let all = self.allgather(buf.to_vec());
+        for x in buf.iter_mut() {
+            *x = 0.0;
+        }
+        for contrib in &all {
+            debug_assert_eq!(contrib.len(), buf.len());
+            for (x, c) in buf.iter_mut().zip(contrib) {
+                *x += *c;
+            }
+        }
+    }
+
+    /// Element-wise global max, in place.
+    fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        let all = self.allgather(buf.to_vec());
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = all.iter().map(|c| c[i]).fold(f64::NEG_INFINITY, f64::max);
+        }
+    }
+
+    /// Element-wise global min, in place.
+    fn allreduce_min_f64(&self, buf: &mut [f64]) {
+        let all = self.allgather(buf.to_vec());
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = all.iter().map(|c| c[i]).fold(f64::INFINITY, f64::min);
+        }
+    }
+
+    /// Element-wise global sum of u64 counters, in place.
+    fn allreduce_sum_u64(&self, buf: &mut [u64]) {
+        let all = self.allgather(buf.to_vec());
+        for x in buf.iter_mut() {
+            *x = 0;
+        }
+        for contrib in &all {
+            for (x, c) in buf.iter_mut().zip(contrib) {
+                *x += *c;
+            }
+        }
+    }
+
+    /// Exclusive prefix sum over ranks: rank r receives Σ_{s<r} value_s.
+    fn exscan_sum_u64(&self, value: u64) -> u64 {
+        let all = self.allgather(vec![value]);
+        all[..self.rank()].iter().map(|v| v[0]).sum()
+    }
+
+    /// Broadcast from `root`: `value` must be `Some` on the root and is
+    /// ignored elsewhere.
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        debug_assert!(root < self.size());
+        let contribution = if self.rank() == root {
+            vec![value.expect("root must supply a value")]
+        } else {
+            Vec::new()
+        };
+        let mut all = self.allgather(contribution);
+        all.swap_remove(root).pop().expect("root contribution present")
+    }
+}
+
+/// The trivial communicator: one rank, no communication.
+#[derive(Debug, Clone, Default)]
+pub struct SelfComm;
+
+impl Comm for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn barrier(&self) {}
+
+    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        vec![local]
+    }
+
+    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        debug_assert_eq!(sends.len(), 1);
+        sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_comm_identity() {
+        let c = SelfComm;
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        c.barrier();
+        assert_eq!(c.allgather(vec![1, 2, 3]), vec![vec![1, 2, 3]]);
+        assert_eq!(c.alltoallv(vec![vec![9]]), vec![vec![9]]);
+        let mut buf = [1.0, 2.0];
+        c.allreduce_sum_f64(&mut buf);
+        assert_eq!(buf, [1.0, 2.0]);
+        assert_eq!(c.exscan_sum_u64(5), 0);
+        assert_eq!(c.broadcast(0, Some(7)), 7);
+        assert_eq!(c.allreduce(3, |a, b| a + b), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Communication counters.
+//!
+//! Every `ThreadComm` collective records how many payload bytes crossed
+//! ranks and how many collective rounds happened. The scaling experiments
+//! diff two snapshots around a phase and feed the result into an α–β cost
+//! model (latency per round + inverse bandwidth per byte), mirroring how
+//! the paper attributes its running time to communication vs. computation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters shared by all ranks of a communicator.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    collectives: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl StatsCell {
+    /// Record one collective in which `bytes` payload bytes were contributed.
+    pub fn record(&self, bytes: u64) {
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            collectives: self.collectives.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the counters. Subtract snapshots to measure a
+/// phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of collective operations entered.
+    pub collectives: u64,
+    /// Total payload bytes contributed across all ranks.
+    pub bytes: u64,
+}
+
+impl CommStats {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            collectives: self.collectives - earlier.collectives,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+
+    /// Modeled communication seconds under an α–β model:
+    /// `alpha` seconds per collective round plus `beta` seconds per byte.
+    pub fn modeled_seconds(&self, alpha: f64, beta: f64) -> f64 {
+        self.collectives as f64 * alpha + self.bytes as f64 * beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let cell = StatsCell::default();
+        cell.record(100);
+        cell.record(20);
+        let s = cell.snapshot();
+        assert_eq!(s.collectives, 2);
+        assert_eq!(s.bytes, 120);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let a = CommStats { collectives: 2, bytes: 100 };
+        let b = CommStats { collectives: 5, bytes: 180 };
+        let d = b.since(&a);
+        assert_eq!(d, CommStats { collectives: 3, bytes: 80 });
+    }
+
+    #[test]
+    fn modeled_seconds_is_linear() {
+        let s = CommStats { collectives: 10, bytes: 1000 };
+        let t = s.modeled_seconds(1e-5, 1e-9);
+        assert!((t - (10.0 * 1e-5 + 1000.0 * 1e-9)).abs() < 1e-15);
+    }
+}

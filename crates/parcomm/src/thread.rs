@@ -1,0 +1,305 @@
+//! Threads-as-ranks communicator.
+//!
+//! [`run_spmd`] launches `p` OS threads, each holding a [`ThreadComm`] with
+//! a distinct rank, and runs the same closure on all of them — the SPMD
+//! model of an `mpirun -np p` job. Collectives deposit each rank's
+//! contribution into a shared, type-erased slot table, synchronize with a
+//! sense-reversing barrier, then read the peers' contributions.
+//!
+//! The implementation favours obviousness over throughput: a collective is
+//! two barriers and `p` mutex acquisitions. That is plenty for the
+//! experiment scale of this reproduction (the data plane — points, graphs —
+//! never moves through these slots wholesale; only collective payloads do,
+//! exactly as in the MPI original).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::{CommStats, StatsCell};
+use crate::Comm;
+
+/// A reusable (sense-reversing) barrier for `n` participants.
+#[derive(Debug)]
+struct Barrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    fn new(n: usize) -> Self {
+        Barrier {
+            n,
+            state: Mutex::new(BarrierState { waiting: 0, generation: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.n {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// Shared state of one communicator instance.
+#[derive(Debug)]
+struct CommCore {
+    size: usize,
+    barrier: Barrier,
+    slots: Vec<Slot>,
+    stats: StatsCell,
+}
+
+/// One rank's handle into a threads-as-ranks communicator.
+#[derive(Debug, Clone)]
+pub struct ThreadComm {
+    core: Arc<CommCore>,
+    rank: usize,
+}
+
+impl ThreadComm {
+    /// Create handles for all `size` ranks of a fresh communicator.
+    /// (Usually you want [`run_spmd`] instead.)
+    pub fn create(size: usize) -> Vec<ThreadComm> {
+        assert!(size > 0, "communicator needs at least one rank");
+        let core = Arc::new(CommCore {
+            size,
+            barrier: Barrier::new(size),
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            stats: StatsCell::default(),
+        });
+        (0..size).map(|rank| ThreadComm { core: Arc::clone(&core), rank }).collect()
+    }
+
+    fn deposit<T: Send + 'static>(&self, value: T) {
+        *self.core.slots[self.rank].lock() = Some(Box::new(value));
+    }
+
+    fn peek<T: Clone + 'static, R>(&self, rank: usize, f: impl FnOnce(&T) -> R) -> R {
+        let guard = self.core.slots[rank].lock();
+        let boxed = guard.as_ref().expect("peer slot must be filled");
+        let value = boxed.downcast_ref::<T>().expect("collective type mismatch");
+        f(value)
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.core.size
+    }
+
+    fn barrier(&self) {
+        self.core.barrier.wait();
+    }
+
+    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        let bytes = (local.len() * std::mem::size_of::<T>()) as u64;
+        self.core.stats.record(bytes * (self.core.size as u64 - 1));
+        self.deposit(local);
+        self.barrier();
+        let mut out = Vec::with_capacity(self.core.size);
+        for r in 0..self.core.size {
+            out.push(self.peek::<Vec<T>, _>(r, |v| v.clone()));
+        }
+        // Nobody may overwrite a slot until everyone has read all of them.
+        self.barrier();
+        out
+    }
+
+    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.core.size, "one send buffer per rank");
+        let off_rank_bytes: u64 = sends
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != self.rank)
+            .map(|(_, v)| (v.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        self.core.stats.record(off_rank_bytes);
+        self.deposit(sends);
+        self.barrier();
+        let mut out = Vec::with_capacity(self.core.size);
+        for r in 0..self.core.size {
+            out.push(self.peek::<Vec<Vec<T>>, _>(r, |v| v[self.rank].clone()));
+        }
+        self.barrier();
+        out
+    }
+
+    fn stats(&self) -> CommStats {
+        self.core.stats.snapshot()
+    }
+}
+
+/// Run `f` as an SPMD program on `p` ranks (threads) and return the
+/// per-rank results, indexed by rank.
+pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(ThreadComm) -> R + Sync,
+{
+    let comms = ThreadComm::create(p);
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(p);
+        for (comm, slot) in comms.into_iter().zip(results.iter_mut()) {
+            handles.push(scope.spawn(move || {
+                *slot = Some(f(comm));
+            }));
+        }
+        for h in handles {
+            h.join().expect("SPMD rank panicked");
+        }
+    });
+    results.into_iter().map(|r| r.expect("rank produced a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_collects_everyone() {
+        let results = run_spmd(4, |c| {
+            let all = c.allgather(vec![c.rank() as u64; c.rank() + 1]);
+            all.iter().map(|v| v.len()).collect::<Vec<_>>()
+        });
+        for r in results {
+            assert_eq!(r, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial() {
+        let results = run_spmd(5, |c| {
+            let mut buf = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum_f64(&mut buf);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_correctly() {
+        // Rank s sends the value 100*s + r to rank r.
+        let results = run_spmd(4, |c| {
+            let sends: Vec<Vec<u64>> =
+                (0..4).map(|r| vec![100 * c.rank() as u64 + r as u64]).collect();
+            c.alltoallv(sends)
+        });
+        for (r, recv) in results.iter().enumerate() {
+            for (s, v) in recv.iter().enumerate() {
+                assert_eq!(v, &vec![100 * s as u64 + r as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_buffers() {
+        let results = run_spmd(3, |c| {
+            // Only rank 0 sends anything, and only to rank 2.
+            let mut sends: Vec<Vec<u8>> = vec![vec![]; 3];
+            if c.rank() == 0 {
+                sends[2] = vec![42];
+            }
+            c.alltoallv(sends)
+        });
+        assert_eq!(results[2][0], vec![42]);
+        assert!(results[0].iter().all(|v| v.is_empty()));
+        assert!(results[1].iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn exscan_is_exclusive_prefix() {
+        let results = run_spmd(4, |c| c.exscan_sum_u64(10 * (c.rank() as u64 + 1)));
+        assert_eq!(results, vec![0, 10, 30, 60]);
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let results = run_spmd(4, |c| {
+            let v = if c.rank() == 2 { Some(vec![7u32, 8]) } else { None };
+            c.broadcast(2, v)
+        });
+        for r in results {
+            assert_eq!(r, vec![7, 8]);
+        }
+    }
+
+    #[test]
+    fn generic_allreduce_max() {
+        let results = run_spmd(6, |c| c.allreduce(c.rank() as u64, u64::max));
+        assert!(results.iter().all(|&m| m == 5));
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_cross() {
+        let results = run_spmd(3, |c| {
+            let mut acc = 0u64;
+            for round in 0..50u64 {
+                let mut buf = vec![round + c.rank() as u64];
+                c.allreduce_sum_u64(&mut buf);
+                acc = acc.wrapping_add(buf[0]);
+            }
+            acc
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let results = run_spmd(2, |c| {
+            let before = c.stats();
+            let _ = c.allgather(vec![0u64; 4]);
+            c.stats().since(&before)
+        });
+        // Each rank contributed 32 bytes to one peer.
+        assert!(results[0].bytes >= 32);
+        assert!(results[0].collectives >= 1);
+    }
+
+    #[test]
+    fn single_rank_thread_comm_works() {
+        let results = run_spmd(1, |c| {
+            let mut buf = vec![3.0];
+            c.allreduce_sum_f64(&mut buf);
+            buf[0]
+        });
+        assert_eq!(results, vec![3.0]);
+    }
+
+    #[test]
+    fn barrier_reusable_many_times() {
+        run_spmd(4, |c| {
+            for _ in 0..200 {
+                c.barrier();
+            }
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Graph-based local refinement of geometric partitions.
+//!
+//! The paper explicitly leaves this on the table (Sec. 2): "a graph-based
+//! postprocessing, for example based on the Fiduccia-Mattheyses local
+//! refinement heuristic, is easily possible, but outside the scope of this
+//! paper." This crate implements that postprocessing as an extension: a
+//! balance-constrained greedy boundary refinement in the FM spirit —
+//! vertices on block boundaries move to the neighbouring block with the
+//! highest edge-gain, as long as the balance constraint stays intact.
+//!
+//! Moves are only accepted with strictly positive gain, so the edge cut
+//! decreases monotonically and the procedure terminates.
+
+use geographer_graph::CsrGraph;
+
+/// Parameters of the refinement pass.
+#[derive(Debug, Clone)]
+pub struct RefineConfig {
+    /// Maximum sweeps over the boundary (each sweep only moves vertices
+    /// with positive gain; convergence is usually reached in a handful).
+    pub max_rounds: usize,
+    /// Balance slack ε: no block may exceed `max((1+ε)·avg, avg + w_max)`
+    /// after a move (same constraint as the partitioners).
+    pub epsilon: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { max_rounds: 10, epsilon: 0.03 }
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineReport {
+    /// Edge cut before refinement.
+    pub cut_before: u64,
+    /// Edge cut after refinement.
+    pub cut_after: u64,
+    /// Number of vertex moves performed.
+    pub moves: usize,
+    /// Number of sweeps executed.
+    pub rounds: usize,
+}
+
+/// Edge cut of `assignment` on `g` (each cut edge counted once).
+pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.n() as u32 {
+        for &u in g.neighbors(v) {
+            if v < u && assignment[v as usize] != assignment[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Refine `assignment` in place: repeatedly move boundary vertices to the
+/// adjacent block with the largest positive edge-gain, subject to the
+/// balance constraint. Deterministic (fixed sweep order).
+pub fn refine_partition(
+    g: &CsrGraph,
+    assignment: &mut [u32],
+    weights: &[f64],
+    k: usize,
+    cfg: &RefineConfig,
+) -> RefineReport {
+    assert_eq!(assignment.len(), g.n());
+    assert_eq!(weights.len(), g.n());
+    assert!(k >= 1);
+    let cut_before = edge_cut(g, assignment);
+
+    let total: f64 = weights.iter().sum();
+    let avg = total / k as f64;
+    let w_max = weights.iter().copied().fold(0.0, f64::max);
+    let allowed = ((1.0 + cfg.epsilon) * avg).max(avg + w_max);
+
+    let mut block_w = vec![0.0f64; k];
+    for (&b, &w) in assignment.iter().zip(weights) {
+        block_w[b as usize] += w;
+    }
+
+    let mut moves = 0usize;
+    let mut rounds = 0usize;
+    // Per-sweep scratch: edge count towards each block seen at the current
+    // vertex (sparse: reset only the touched entries).
+    let mut cnt = vec![0u32; k];
+    let mut touched: Vec<u32> = Vec::with_capacity(8);
+
+    for _ in 0..cfg.max_rounds {
+        rounds += 1;
+        let mut moved_this_round = 0usize;
+        for v in 0..g.n() as u32 {
+            let own = assignment[v as usize];
+            // Count edges to each adjacent block.
+            touched.clear();
+            let mut is_boundary = false;
+            for &u in g.neighbors(v) {
+                let b = assignment[u as usize];
+                if cnt[b as usize] == 0 {
+                    touched.push(b);
+                }
+                cnt[b as usize] += 1;
+                if b != own {
+                    is_boundary = true;
+                }
+            }
+            if is_boundary {
+                let own_cnt = cnt[own as usize];
+                // Best foreign block by edge count, ties to the smaller id
+                // for determinism.
+                let mut best: Option<(u32, u32)> = None; // (count, block)
+                for &b in &touched {
+                    if b == own {
+                        continue;
+                    }
+                    let c = cnt[b as usize];
+                    if best.map(|(bc, bb)| (c, std::cmp::Reverse(b)) > (bc, std::cmp::Reverse(bb))).unwrap_or(true) {
+                        best = Some((c, b));
+                    }
+                }
+                if let Some((c, b)) = best {
+                    let gain = c as i64 - own_cnt as i64;
+                    let w = weights[v as usize];
+                    if gain > 0 && block_w[b as usize] + w <= allowed + 1e-12 {
+                        assignment[v as usize] = b;
+                        block_w[own as usize] -= w;
+                        block_w[b as usize] += w;
+                        moved_this_round += 1;
+                    }
+                }
+            }
+            for &b in &touched {
+                cnt[b as usize] = 0;
+            }
+        }
+        moves += moved_this_round;
+        if moved_this_round == 0 {
+            break;
+        }
+    }
+
+    RefineReport { cut_before, cut_after: edge_cut(g, assignment), moves, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn edge_cut_counts_once() {
+        let g = path(4);
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn optimal_partition_is_untouched() {
+        let g = path(10);
+        let mut asg: Vec<u32> = (0..10).map(|v| (v / 5) as u32).collect();
+        let before = asg.clone();
+        let report = refine_partition(&g, &mut asg, &[1.0; 10], 2, &RefineConfig::default());
+        assert_eq!(asg, before);
+        assert_eq!(report.moves, 0);
+        assert_eq!(report.cut_before, report.cut_after);
+    }
+
+    #[test]
+    fn repairs_a_jagged_boundary() {
+        // 2x10 grid with a zig-zag boundary between left and right halves:
+        // refinement must straighten it.
+        let w = 10usize;
+        let mut edges = Vec::new();
+        for y in 0..2 {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    edges.push((v, v + 1));
+                }
+                if y == 0 {
+                    edges.push((v, v + w as u32));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(2 * w, &edges);
+        // Jagged: row 0 splits at 5, row 1 splits at 4 — staircase boundary.
+        let mut asg = vec![0u32; 2 * w];
+        for x in 0..w {
+            asg[x] = u32::from(x >= 5);
+            asg[w + x] = u32::from(x >= 4);
+        }
+        let weights = vec![1.0; 2 * w];
+        let before = edge_cut(&g, &asg);
+        let report = refine_partition(&g, &mut asg, &weights, 2, &RefineConfig::default());
+        assert!(report.cut_after < before, "cut {} -> {}", before, report.cut_after);
+        // Balance preserved.
+        let left = asg.iter().filter(|&&b| b == 0).count();
+        assert!((9..=11).contains(&left), "balance broken: {left}");
+    }
+
+    #[test]
+    fn cut_never_increases_and_balance_holds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mesh = geographer_mesh::delaunay_unit_square(1000, 5);
+        let k = 6;
+        let mut rng = StdRng::seed_from_u64(9);
+        // Start from a *random* balanced-ish partition: lots to fix.
+        let mut asg: Vec<u32> = (0..1000).map(|_| rng.random_range(0..k as u32)).collect();
+        let before = edge_cut(&mesh.graph, &asg);
+        let cfg = RefineConfig { max_rounds: 30, epsilon: 0.10 };
+        let report = refine_partition(&mesh.graph, &mut asg, &mesh.weights, k, &cfg);
+        assert!(report.cut_after <= report.cut_before);
+        assert_eq!(report.cut_before, before);
+        assert!(
+            (report.cut_after as f64) < 0.8 * before as f64,
+            "random partition should improve a lot: {} -> {}",
+            before,
+            report.cut_after
+        );
+        // Balance within the configured slack.
+        let mut bw = vec![0.0; k];
+        for (&b, &w) in asg.iter().zip(&mesh.weights) {
+            bw[b as usize] += w;
+        }
+        let avg = 1000.0 / k as f64;
+        let max = bw.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= (1.0 + cfg.epsilon) * avg + 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn respects_balance_cap_strictly() {
+        // Star graph, center in its own block. The center would gain 4 by
+        // joining the leaves' block, but that would overload it
+        // (Lmax = max(avg, avg + w_max) = 3.5 < 5). Leaves may legally
+        // drift to the center's block instead — the cap must hold
+        // throughout, and the overloading move must never happen.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut asg = vec![0, 1, 1, 1, 1];
+        let weights = vec![1.0; 5];
+        let cfg = RefineConfig { max_rounds: 5, epsilon: 0.0 };
+        let report = refine_partition(&g, &mut asg, &weights, 2, &cfg);
+        assert!(report.cut_after <= report.cut_before);
+        let mut bw = [0.0f64; 2];
+        for (&b, &w) in asg.iter().zip(&weights) {
+            bw[b as usize] += w;
+        }
+        assert!(bw[0] <= 3.5 + 1e-12 && bw[1] <= 3.5 + 1e-12, "cap violated: {bw:?}");
+    }
+
+    #[test]
+    fn k1_is_a_noop() {
+        let g = path(6);
+        let mut asg = vec![0u32; 6];
+        let report = refine_partition(&g, &mut asg, &[1.0; 6], 1, &RefineConfig::default());
+        assert_eq!(report.moves, 0);
+        assert_eq!(report.cut_after, 0);
+    }
+}

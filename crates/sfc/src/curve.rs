@@ -1,0 +1,328 @@
+//! Hilbert index <-> axis coordinates, plus a float-point mapper.
+
+use geographer_geometry::{Aabb, Point};
+
+/// Maximum bits per axis such that `D * bits` fits into the `u64` key.
+pub const fn max_bits(d: usize) -> u32 {
+    (64 / d) as u32
+}
+
+/// Skilling's AxesToTranspose: turn axis coordinates into the "transposed"
+/// Hilbert representation (in place).
+fn axes_to_transpose<const D: usize>(x: &mut [u32; D], bits: u32) {
+    debug_assert!(bits >= 1);
+    let m: u32 = 1 << (bits - 1);
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..D {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..D {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    let mut q = m;
+    while q > 1 {
+        if x[D - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Skilling's TransposeToAxes: inverse of [`axes_to_transpose`].
+fn transpose_to_axes<const D: usize>(x: &mut [u32; D], bits: u32) {
+    debug_assert!(bits >= 1);
+    let n: u32 = 1 << bits; // 2^bits, may be 2^32? bits <= 31 enforced by callers for D=2.
+    // Gray decode by H ^ (H/2).
+    let mut t = x[D - 1] >> 1;
+    for i in (1..D).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q: u32 = 2;
+    while q != n {
+        let p = q.wrapping_sub(1);
+        for i in (0..D).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Interleave the transposed representation into a single `u64` key
+/// (most significant Hilbert digit first).
+fn interleave<const D: usize>(x: &[u32; D], bits: u32) -> u64 {
+    let mut key: u64 = 0;
+    for b in (0..bits).rev() {
+        for v in x.iter() {
+            key = (key << 1) | ((*v >> b) & 1) as u64;
+        }
+    }
+    key
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave<const D: usize>(key: u64, bits: u32) -> [u32; D] {
+    let mut x = [0u32; D];
+    let total = bits * D as u32;
+    for pos in 0..total {
+        let bit = (key >> (total - 1 - pos)) & 1;
+        let b = bits - 1 - pos / D as u32;
+        let i = (pos % D as u32) as usize;
+        x[i] |= (bit as u32) << b;
+    }
+    x
+}
+
+/// Hilbert index of the integer lattice cell `coords`, with `bits` of
+/// resolution per axis. Each coordinate must be `< 2^bits`.
+///
+/// # Panics
+/// If `bits == 0`, `bits > 64/D`, or a coordinate is out of range.
+pub fn hilbert_index<const D: usize>(coords: [u32; D], bits: u32) -> u64 {
+    assert!(bits >= 1 && bits <= max_bits(D).min(31), "bits out of range");
+    if bits < 32 {
+        for &c in &coords {
+            assert!(c < (1 << bits), "coordinate {c} out of range for {bits} bits");
+        }
+    }
+    let mut x = coords;
+    axes_to_transpose(&mut x, bits);
+    interleave(&x, bits)
+}
+
+/// Axis coordinates of the lattice cell with the given Hilbert `index`.
+pub fn hilbert_coords<const D: usize>(index: u64, bits: u32) -> [u32; D] {
+    assert!(bits >= 1 && bits <= max_bits(D).min(31), "bits out of range");
+    let mut x = deinterleave::<D>(index, bits);
+    transpose_to_axes(&mut x, bits);
+    x
+}
+
+/// Maps floating-point points inside a fixed bounding box to Hilbert keys.
+///
+/// All SPMD ranks must construct the mapper from the *global* bounding box
+/// so keys are comparable across ranks.
+#[derive(Debug, Clone)]
+pub struct HilbertMapper<const D: usize> {
+    bb: Aabb<D>,
+    bits: u32,
+    scale: [f64; D],
+}
+
+impl<const D: usize> HilbertMapper<D> {
+    /// A mapper over `bb` with `bits` of resolution per axis.
+    pub fn new(bb: Aabb<D>, bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= max_bits(D).min(31), "bits out of range");
+        let cells = (1u64 << bits) as f64;
+        let mut scale = [0.0; D];
+        for i in 0..D {
+            let ext = bb.extent(i);
+            // Degenerate extents map everything to cell 0 in that axis.
+            scale[i] = if ext > 0.0 { cells / ext } else { 0.0 };
+        }
+        HilbertMapper { bb, bits, scale }
+    }
+
+    /// Default resolution: the maximum that fits a `u64` key
+    /// (32 bits/axis in 2D, 21 bits/axis in 3D — matching typical
+    /// HSFC implementations).
+    pub fn with_max_resolution(bb: Aabb<D>) -> Self {
+        // 32 bits/axis in 2D would need the `1 << bits` guard; cap at 31 for
+        // simple range checks, which is still ~2e9 cells per axis.
+        let bits = max_bits(D).min(31);
+        Self::new(bb, bits)
+    }
+
+    /// Resolution in bits per axis.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantize a point to its lattice cell (clamped into the box).
+    pub fn cell_of(&self, p: &Point<D>) -> [u32; D] {
+        let max_cell = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        let mut c = [0u32; D];
+        for i in 0..D {
+            let raw = (p[i] - self.bb.min[i]) * self.scale[i];
+            c[i] = if raw <= 0.0 {
+                0
+            } else if raw >= max_cell as f64 {
+                max_cell
+            } else {
+                raw as u32
+            };
+        }
+        c
+    }
+
+    /// Hilbert key of `p`.
+    pub fn key_of(&self, p: &Point<D>) -> u64 {
+        hilbert_index(self.cell_of(p), self.bits)
+    }
+
+    /// Center of the lattice cell with Hilbert key `key` (inverse of
+    /// [`Self::key_of`] up to quantization).
+    pub fn point_of(&self, key: u64) -> Point<D> {
+        let c = hilbert_coords::<D>(key, self.bits);
+        let mut p = [0.0; D];
+        for i in 0..D {
+            let s = if self.scale[i] > 0.0 { 1.0 / self.scale[i] } else { 0.0 };
+            p[i] = self.bb.min[i] + (c[i] as f64 + 0.5) * s;
+        }
+        Point::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_2d_visits_four_cells_contiguously() {
+        // A 1-bit 2D Hilbert curve visits the four unit cells in a "U";
+        // successive cells must be grid neighbours.
+        let mut cells = Vec::new();
+        for idx in 0..4 {
+            cells.push(hilbert_coords::<2>(idx, 1));
+        }
+        for w in cells.windows(2) {
+            let dx = (w[0][0] as i64 - w[1][0] as i64).abs();
+            let dy = (w[0][1] as i64 - w[1][1] as i64).abs();
+            assert_eq!(dx + dy, 1, "consecutive cells must be adjacent: {cells:?}");
+        }
+    }
+
+    #[test]
+    fn bijective_2d_small() {
+        let bits = 4;
+        let n = 1u64 << (2 * bits);
+        let mut seen = vec![false; n as usize];
+        for x in 0..(1u32 << bits) {
+            for y in 0..(1u32 << bits) {
+                let idx = hilbert_index([x, y], bits);
+                assert!(idx < n);
+                assert!(!seen[idx as usize], "duplicate index {idx}");
+                seen[idx as usize] = true;
+                assert_eq!(hilbert_coords::<2>(idx, bits), [x, y]);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bijective_3d_small() {
+        let bits = 3;
+        let n = 1u64 << (3 * bits);
+        let mut seen = vec![false; n as usize];
+        for x in 0..(1u32 << bits) {
+            for y in 0..(1u32 << bits) {
+                for z in 0..(1u32 << bits) {
+                    let idx = hilbert_index([x, y, z], bits);
+                    assert!(!seen[idx as usize]);
+                    seen[idx as usize] = true;
+                    assert_eq!(hilbert_coords::<3>(idx, bits), [x, y, z]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn curve_is_continuous_2d() {
+        // Consecutive Hilbert indices always map to adjacent lattice cells.
+        let bits = 5;
+        let n = 1u64 << (2 * bits);
+        let mut prev = hilbert_coords::<2>(0, bits);
+        for idx in 1..n {
+            let cur = hilbert_coords::<2>(idx, bits);
+            let manhattan: i64 = (0..2)
+                .map(|i| (prev[i] as i64 - cur[i] as i64).abs())
+                .sum();
+            assert_eq!(manhattan, 1, "discontinuity at index {idx}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn curve_is_continuous_3d() {
+        let bits = 3;
+        let n = 1u64 << (3 * bits);
+        let mut prev = hilbert_coords::<3>(0, bits);
+        for idx in 1..n {
+            let cur = hilbert_coords::<3>(idx, bits);
+            let manhattan: i64 = (0..3)
+                .map(|i| (prev[i] as i64 - cur[i] as i64).abs())
+                .sum();
+            assert_eq!(manhattan, 1, "discontinuity at index {idx}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn mapper_roundtrip_close() {
+        let bb = Aabb::new(Point::new([-2.0, 3.0]), Point::new([4.0, 9.0]));
+        let m = HilbertMapper::new(bb, 16);
+        let p = Point::new([1.25, 7.5]);
+        let key = m.key_of(&p);
+        let q = m.point_of(key);
+        // One cell is 6/65536 wide; round trip must stay within a cell.
+        assert!(p.dist(&q) < 2.0 * 6.0 / 65536.0);
+    }
+
+    #[test]
+    fn mapper_clamps_outliers() {
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let m = HilbertMapper::new(bb, 8);
+        // Outside points clamp to the border cells instead of panicking.
+        let _ = m.key_of(&Point::new([-5.0, 0.5]));
+        let _ = m.key_of(&Point::new([2.0, 2.0]));
+    }
+
+    #[test]
+    fn mapper_handles_degenerate_extent() {
+        // All points on a vertical line: x-extent is zero.
+        let bb = Aabb::new(Point::new([1.0, 0.0]), Point::new([1.0, 10.0]));
+        let m = HilbertMapper::new(bb, 8);
+        let k0 = m.key_of(&Point::new([1.0, 0.0]));
+        let k1 = m.key_of(&Point::new([1.0, 10.0]));
+        assert_ne!(k0, k1, "keys should still vary along y");
+    }
+
+    #[test]
+    fn locality_nearby_points_nearby_keys() {
+        // Spot-check the Hilbert locality property the paper relies on:
+        // points close in space are usually close on the curve. We check the
+        // weaker (always true) converse: consecutive keys are close in space.
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let m = HilbertMapper::new(bb, 8);
+        let cell = 1.0 / 256.0;
+        for key in (0..(1u64 << 16) - 1).step_by(97) {
+            let a = m.point_of(key);
+            let b = m.point_of(key + 1);
+            assert!(a.dist(&b) < 1.5 * cell);
+        }
+    }
+}

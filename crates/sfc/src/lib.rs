@@ -1,0 +1,18 @@
+//! Hilbert space-filling curves in 2 and 3 dimensions.
+//!
+//! The paper (Sec. 4.1) bootstraps balanced k-means by globally sorting all
+//! points along a Hilbert curve, and one of the evaluated competitors
+//! (zoltanSFC / HSFC) partitions by cutting the curve into `k` weighted
+//! chunks. Both uses go through this crate.
+//!
+//! The conversion between axis coordinates and the Hilbert index uses John
+//! Skilling's transpose algorithm ("Programming the Hilbert curve", AIP
+//! 2004), which works for any dimension and any per-axis resolution.
+
+// Fixed-dimension coordinate loops index several parallel arrays at once;
+// iterator-zip rewrites of those loops are less readable, not more.
+#![allow(clippy::needless_range_loop)]
+
+pub mod curve;
+
+pub use curve::{hilbert_coords, hilbert_index, HilbertMapper};

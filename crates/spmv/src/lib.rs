@@ -1,0 +1,248 @@
+//! Distributed sparse matrix–vector multiplication with halo exchange.
+//!
+//! This is the empirical quality measure of the paper (Sec. 2): "we
+//! redistribute the input graph according to [the partition], perform
+//! sparse matrix-vector multiplications with the adjacency matrix ... and
+//! measure the communication time needed within the SpMV", averaged over
+//! many repetitions (`timeSpMVComm` in Tables 1–2).
+//!
+//! Each rank owns the vertices of its block(s) (blocks map to ranks
+//! contiguously). One multiplication is: exchange boundary values (each
+//! owned vertex value goes once to every *rank* that has a neighbour of
+//! it — exactly the communication-volume metric), then multiply locally.
+//! Only the exchange is timed.
+
+// Fixed-dimension coordinate loops index several parallel arrays at once;
+// iterator-zip rewrites of those loops are less readable, not more.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use geographer_graph::CsrGraph;
+use geographer_parcomm::Comm;
+
+/// Measurements of a repeated SpMV run on one rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmvReport {
+    /// Average seconds per multiplication spent in the halo exchange.
+    pub comm_seconds_avg: f64,
+    /// Average seconds per multiplication spent in local compute.
+    pub compute_seconds_avg: f64,
+    /// Payload bytes this rank sends per multiplication.
+    pub bytes_sent_per_iter: u64,
+    /// Sum of the final result vector entries owned by this rank
+    /// (determinism check; also keeps the compute from being optimized out).
+    pub checksum: f64,
+}
+
+/// Map block `b` of `k` to its owning rank among `p` (contiguous ranges;
+/// identity when `k == p`).
+#[inline]
+pub fn owner_of_block(b: u32, k: usize, p: usize) -> usize {
+    ((b as usize * p) / k).min(p - 1)
+}
+
+/// Run `reps` SpMV iterations on the partition `assignment` (block per
+/// vertex, `k` blocks) of `g`, SPMD over `comm`. The graph structure and
+/// assignment are replicated (reproduction-scale instances fit easily);
+/// the *vector* is distributed and every boundary value moves through a
+/// real `alltoallv` per iteration.
+pub fn spmv_comm_time<C: Comm>(
+    comm: &C,
+    g: &CsrGraph,
+    assignment: &[u32],
+    k: usize,
+    reps: usize,
+) -> SpmvReport {
+    assert_eq!(assignment.len(), g.n());
+    assert!(reps >= 1);
+    let p = comm.size();
+    let me = comm.rank();
+    let owner = |v: u32| owner_of_block(assignment[v as usize], k, p);
+
+    // Owned vertices, and a dense local index for them.
+    let owned: Vec<u32> = (0..g.n() as u32).filter(|&v| owner(v) == me).collect();
+    let mut local_of: HashMap<u32, u32> = HashMap::with_capacity(owned.len());
+    for (i, &v) in owned.iter().enumerate() {
+        local_of.insert(v, i as u32);
+    }
+
+    // Send lists: owned vertices that each foreign rank needs (a vertex is
+    // sent at most once per rank — the comm-volume semantics).
+    let mut send_list: Vec<Vec<u32>> = vec![Vec::new(); p];
+    {
+        let mut sent: Vec<HashMap<u32, ()>> = vec![HashMap::new(); p];
+        for &v in &owned {
+            for &u in g.neighbors(v) {
+                let r = owner(u);
+                if r != me && sent[r].insert(v, ()).is_none() {
+                    send_list[r].push(v);
+                }
+            }
+        }
+    }
+    // Receive map: which foreign vertices I need. Values arrive in the
+    // sender's send_list order, which both sides can compute (replicated
+    // structure) — mirror it here.
+    let mut recv_from: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for r in 0..p {
+        if r == me {
+            continue;
+        }
+        let mut sent: HashMap<u32, ()> = HashMap::new();
+        for v in 0..g.n() as u32 {
+            if owner(v) != r {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if owner(u) == me && sent.insert(v, ()).is_none() {
+                    recv_from[r].push(v);
+                }
+            }
+        }
+    }
+
+    let bytes_sent_per_iter: u64 =
+        send_list.iter().map(|l| (l.len() * std::mem::size_of::<f64>()) as u64).sum();
+
+    // Distributed vector: x[v] for owned v, plus a ghost table.
+    let mut x: Vec<f64> = owned.iter().map(|&v| 1.0 + (v % 7) as f64).collect();
+    let mut ghost: HashMap<u32, f64> = HashMap::new();
+    let mut y = vec![0.0f64; owned.len()];
+
+    let mut comm_secs = 0.0;
+    let mut compute_secs = 0.0;
+    for _ in 0..reps {
+        // Halo exchange (timed).
+        let t = Instant::now();
+        let sends: Vec<Vec<f64>> = send_list
+            .iter()
+            .map(|l| l.iter().map(|&v| x[local_of[&v] as usize]).collect())
+            .collect();
+        let received = comm.alltoallv(sends);
+        for (r, vals) in received.into_iter().enumerate() {
+            debug_assert_eq!(vals.len(), recv_from[r].len());
+            for (&v, val) in recv_from[r].iter().zip(vals) {
+                ghost.insert(v, val);
+            }
+        }
+        comm_secs += t.elapsed().as_secs_f64();
+
+        // Local multiply: y = A·x with unit edge weights.
+        let t = Instant::now();
+        for (i, &v) in owned.iter().enumerate() {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v) {
+                acc += if owner(u) == me {
+                    x[local_of[&u] as usize]
+                } else {
+                    ghost[&u]
+                };
+            }
+            y[i] = acc;
+        }
+        // Keep values bounded across iterations (Jacobi-like damping).
+        let scale = 1.0 / (1.0 + g.n() as f64).sqrt();
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = 0.5 * *xi + scale * yi;
+        }
+        compute_secs += t.elapsed().as_secs_f64();
+    }
+
+    SpmvReport {
+        comm_seconds_avg: comm_secs / reps as f64,
+        compute_seconds_avg: compute_secs / reps as f64,
+        bytes_sent_per_iter,
+        checksum: x.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_parcomm::{run_spmd, SelfComm};
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn owner_mapping_contiguous() {
+        assert_eq!(owner_of_block(0, 4, 2), 0);
+        assert_eq!(owner_of_block(1, 4, 2), 0);
+        assert_eq!(owner_of_block(2, 4, 2), 1);
+        assert_eq!(owner_of_block(3, 4, 2), 1);
+        // k == p: identity.
+        for b in 0..6u32 {
+            assert_eq!(owner_of_block(b, 6, 6), b as usize);
+        }
+    }
+
+    #[test]
+    fn single_rank_runs_and_checksums() {
+        let g = path_graph(50);
+        let asg = vec![0u32; 50];
+        let r = spmv_comm_time(&SelfComm, &g, &asg, 1, 5);
+        assert_eq!(r.bytes_sent_per_iter, 0, "one rank sends nothing");
+        assert!(r.checksum.is_finite());
+    }
+
+    #[test]
+    fn bytes_match_comm_volume_metric() {
+        // For k == p, per-iteration sent bytes across all ranks must be
+        // 8 × total communication volume of the partition.
+        let g = path_graph(40);
+        let asg: Vec<u32> = (0..40).map(|v| (v / 10) as u32).collect();
+        let k = 4;
+        let metrics = geographer_graph::evaluate_partition(&g, &asg, &vec![1.0; 40], k);
+        let reports = run_spmd(k, |c| spmv_comm_time(&c, &g, &asg, k, 3));
+        let total_bytes: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+        assert_eq!(total_bytes, 8 * metrics.total_comm_volume);
+    }
+
+    #[test]
+    fn distributed_matches_serial_checksum() {
+        let g = path_graph(60);
+        let asg: Vec<u32> = (0..60).map(|v| (v / 20) as u32).collect();
+        let serial = spmv_comm_time(&SelfComm, &g, &asg, 3, 4);
+        let reports = run_spmd(3, |c| spmv_comm_time(&c, &g, &asg, 3, 4));
+        let dist_sum: f64 = reports.iter().map(|r| r.checksum).sum();
+        assert!(
+            (dist_sum - serial.checksum).abs() < 1e-9,
+            "distributed {dist_sum} vs serial {}",
+            serial.checksum
+        );
+    }
+
+    #[test]
+    fn worse_partition_sends_more() {
+        // Stripes (every other vertex alternating blocks) send far more
+        // than contiguous halves on a path.
+        let g = path_graph(100);
+        let good: Vec<u32> = (0..100).map(|v| (v / 50) as u32).collect();
+        let bad: Vec<u32> = (0..100).map(|v| (v % 2) as u32).collect();
+        let good_bytes: u64 = run_spmd(2, |c| spmv_comm_time(&c, &g, &good, 2, 2))
+            .iter()
+            .map(|r| r.bytes_sent_per_iter)
+            .sum();
+        let bad_bytes: u64 = run_spmd(2, |c| spmv_comm_time(&c, &g, &bad, 2, 2))
+            .iter()
+            .map(|r| r.bytes_sent_per_iter)
+            .sum();
+        assert!(bad_bytes > 10 * good_bytes, "{bad_bytes} vs {good_bytes}");
+    }
+
+    #[test]
+    fn more_blocks_than_ranks() {
+        let g = path_graph(80);
+        let asg: Vec<u32> = (0..80).map(|v| (v / 10) as u32).collect();
+        // k = 8 blocks on p = 2 ranks.
+        let reports = run_spmd(2, |c| spmv_comm_time(&c, &g, &asg, 8, 2));
+        // Only the single edge crossing the rank boundary (block 3|4)
+        // carries data: one vertex each way.
+        let total: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+        assert_eq!(total, 16);
+    }
+}

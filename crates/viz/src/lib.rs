@@ -1,0 +1,136 @@
+//! SVG rendering of 2D partitions — the reproduction of the paper's Fig. 1
+//! (visual comparison of block shapes across tools).
+
+use geographer_geometry::{Aabb, Point};
+
+/// A distinguishable color per block: evenly spaced hues, alternating
+/// saturation/value rings so adjacent block ids stay distinguishable for
+/// larger k.
+pub fn block_color(block: u32, k: usize) -> String {
+    let k = k.max(1) as f64;
+    let hue = (block as f64 * 360.0 / k) % 360.0;
+    let (s, v) = match block % 3 {
+        0 => (0.85, 0.85),
+        1 => (0.6, 0.95),
+        _ => (0.95, 0.65),
+    };
+    let (r, g, b) = hsv_to_rgb(hue, s, v);
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> (u8, u8, u8) {
+    let c = v * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r1, g1, b1) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    (
+        ((r1 + m) * 255.0).round() as u8,
+        ((g1 + m) * 255.0).round() as u8,
+        ((b1 + m) * 255.0).round() as u8,
+    )
+}
+
+/// Render a partitioned 2D point set as an SVG document (one dot per
+/// point, colored by block). `size` is the canvas side length in pixels.
+pub fn render_partition_svg(
+    points: &[Point<2>],
+    assignment: &[u32],
+    k: usize,
+    size: u32,
+    title: &str,
+) -> String {
+    assert_eq!(points.len(), assignment.len());
+    let bb = Aabb::from_points(points)
+        .unwrap_or_else(|| Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0])));
+    let pad = 8.0;
+    let span = size as f64 - 2.0 * pad;
+    let sx = if bb.extent(0) > 0.0 { span / bb.extent(0) } else { 0.0 };
+    let sy = if bb.extent(1) > 0.0 { span / bb.extent(1) } else { 0.0 };
+    // Dot radius adapts to density.
+    let radius = (span / (points.len() as f64).sqrt() * 0.45).clamp(0.4, 4.0);
+
+    let mut svg = String::with_capacity(points.len() * 64 + 512);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size}\" height=\"{size}\" \
+         viewBox=\"0 0 {size} {size}\">\n<title>{title}</title>\n\
+         <rect width=\"{size}\" height=\"{size}\" fill=\"white\"/>\n"
+    ));
+    let palette: Vec<String> = (0..k as u32).map(|b| block_color(b, k)).collect();
+    for (p, &b) in points.iter().zip(assignment) {
+        let x = pad + (p[0] - bb.min[0]) * sx;
+        // SVG y grows downward; flip so plots match math convention.
+        let y = size as f64 - pad - (p[1] - bb.min[1]) * sy;
+        svg.push_str(&format!(
+            "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"{radius:.2}\" fill=\"{}\"/>\n",
+            palette[b as usize % palette.len()]
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_are_distinct_for_small_k() {
+        let k = 8;
+        let colors: Vec<String> = (0..k as u32).map(|b| block_color(b, k)).collect();
+        let mut unique = colors.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), k, "palette must be collision-free: {colors:?}");
+        for c in &colors {
+            assert!(c.starts_with('#') && c.len() == 7);
+        }
+    }
+
+    #[test]
+    fn svg_has_one_circle_per_point() {
+        let pts = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.5]),
+            Point::new([0.5, 1.0]),
+        ];
+        let svg = render_partition_svg(&pts, &[0, 1, 0], 2, 200, "test");
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<title>test</title>"));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let svg = render_partition_svg(&[], &[], 4, 100, "empty");
+        assert!(svg.contains("</svg>"));
+        // All points identical: zero extent.
+        let pts = vec![Point::new([2.0, 2.0]); 5];
+        let svg = render_partition_svg(&pts, &[0; 5], 1, 100, "point");
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    fn coordinates_stay_on_canvas() {
+        let pts = vec![
+            Point::new([-5.0, -5.0]),
+            Point::new([5.0, 5.0]),
+            Point::new([0.0, 0.0]),
+        ];
+        let svg = render_partition_svg(&pts, &[0, 1, 2], 3, 300, "bounds");
+        for line in svg.lines().filter(|l| l.starts_with("<circle")) {
+            let cx: f64 = line.split("cx=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            let cy: f64 = line.split("cy=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=300.0).contains(&cx));
+            assert!((0.0..=300.0).contains(&cy));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Integration: cross-checks between independently implemented metrics —
+//! the graph-metric communication volume must equal the bytes the SpMV
+//! substrate actually moves, per Sec. 2's definitions.
+
+use geographer::Config;
+use geographer_bench::{run_tool, Tool};
+use geographer_graph::evaluate_partition;
+use geographer_mesh::{delaunay_unit_square, grid3d};
+use geographer_parcomm::run_spmd;
+use geographer_spmv::spmv_comm_time;
+
+#[test]
+fn spmv_bytes_equal_comm_volume_2d() {
+    let mesh = delaunay_unit_square(1500, 30);
+    let k = 6;
+    for tool in Tool::ALL {
+        let out = run_tool(tool, &mesh, k, 2, &Config::default());
+        let metrics = evaluate_partition(&mesh.graph, &out.assignment, &mesh.weights, k);
+        let reports = run_spmd(k, |c| spmv_comm_time(&c, &mesh.graph, &out.assignment, k, 2));
+        let bytes: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+        assert_eq!(
+            bytes,
+            8 * metrics.total_comm_volume,
+            "{}: SpMV bytes disagree with the comm-volume metric",
+            tool.name()
+        );
+    }
+}
+
+#[test]
+fn spmv_bytes_equal_comm_volume_3d() {
+    let mesh = grid3d(10, 10, 10, 0.2, 31);
+    let k = 4;
+    let out = run_tool(Tool::MultiJagged, &mesh, k, 2, &Config::default());
+    let metrics = evaluate_partition(&mesh.graph, &out.assignment, &mesh.weights, k);
+    let reports = run_spmd(k, |c| spmv_comm_time(&c, &mesh.graph, &out.assignment, k, 2));
+    let bytes: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+    assert_eq!(bytes, 8 * metrics.total_comm_volume);
+}
+
+#[test]
+fn diameters_bounded_by_graph_diameter() {
+    // A block's diameter lower bound can never exceed a (loose) upper bound
+    // on the whole graph's diameter: n.
+    let mesh = delaunay_unit_square(800, 32);
+    let out = run_tool(Tool::Geographer, &mesh, 5, 1, &Config::default());
+    let metrics = evaluate_partition(&mesh.graph, &out.assignment, &mesh.weights, 5);
+    for d in metrics.diameters.iter().flatten() {
+        assert!((*d as usize) < mesh.n());
+    }
+}
