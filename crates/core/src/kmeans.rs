@@ -649,7 +649,7 @@ mod tests {
             ..Config::default()
         };
         let out = balanced_kmeans(&SelfComm, &pts, &w, 3, sfc_like_centers(&pts, 3), &cfg);
-        let mut sizes = vec![0.0; 3];
+        let mut sizes = [0.0; 3];
         for &b in &out.assignment {
             sizes[b as usize] += 1.0;
         }

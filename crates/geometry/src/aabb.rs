@@ -158,6 +158,86 @@ mod tests {
     }
 
     #[test]
+    fn containment_is_inclusive_on_faces_and_corners() {
+        // The SFC mapper and kd-tree pruning both treat boxes as closed
+        // sets; a point exactly on a face or corner must count as inside.
+        let bb = unit_box();
+        for p in [
+            [0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0], // corners
+            [0.5, 0.0], [0.5, 1.0], [0.0, 0.5], [1.0, 0.5], // face midpoints
+        ] {
+            assert!(bb.contains(&Point::new(p)), "{p:?} should be inside");
+            assert_eq!(bb.min_dist(&Point::new(p)), 0.0);
+        }
+    }
+
+    #[test]
+    fn containment_rejects_epsilon_outside() {
+        let bb = unit_box();
+        let eps = 1e-12;
+        for p in [
+            [-eps, 0.5], [1.0 + eps, 0.5], [0.5, -eps], [0.5, 1.0 + eps],
+            [1.0 + eps, 1.0 + eps],
+        ] {
+            assert!(!bb.contains(&Point::new(p)), "{p:?} should be outside");
+            assert!(bb.min_dist_sq(&Point::new(p)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_boxes_contain_exactly_their_span() {
+        // Zero extent in every dimension: a single point.
+        let p = Point::new([2.0, -3.0]);
+        let dot = Aabb::new(p, p);
+        assert!(dot.contains(&p));
+        assert!(!dot.contains(&Point::new([2.0, -3.0 + 1e-15])));
+        assert_eq!(dot.diagonal(), 0.0);
+        assert_eq!(dot.center().coords(), p.coords());
+
+        // Zero extent in one dimension: a segment.
+        let seg = Aabb::new(Point::new([0.0, 1.0]), Point::new([5.0, 1.0]));
+        assert!(seg.contains(&Point::new([3.0, 1.0])));
+        assert!(!seg.contains(&Point::new([3.0, 1.0 - 1e-15])));
+        assert_eq!(seg.extent(1), 0.0);
+        assert_eq!(seg.widest_dim(), 0);
+    }
+
+    #[test]
+    fn from_single_point_is_degenerate_but_valid() {
+        let p = Point::new([7.0, 8.0]);
+        let bb = Aabb::from_points(&[p]).unwrap();
+        assert_eq!(bb.min, p);
+        assert_eq!(bb.max, p);
+        assert!(bb.contains(&p));
+    }
+
+    #[test]
+    fn grow_with_boundary_point_is_noop() {
+        let mut bb = unit_box();
+        let before = bb;
+        bb.grow(&Point::new([1.0, 0.0]));
+        assert_eq!(bb, before);
+    }
+
+    #[test]
+    fn min_dist_from_corner_region_uses_both_axes() {
+        // Outside past a corner, the closest box point is that corner, so
+        // the distance has contributions from every violated axis.
+        let bb = unit_box();
+        let p = Point::new([-3.0, -4.0]);
+        assert_eq!(bb.min_dist(&p), 5.0);
+        assert_eq!(bb.min_dist_sq(&p), 25.0);
+    }
+
+    #[test]
+    fn negative_and_mixed_coordinate_boxes() {
+        let bb = Aabb::new(Point::new([-2.0, -2.0]), Point::new([-1.0, 3.0]));
+        assert!(bb.contains(&Point::new([-1.5, 0.0])));
+        assert!(!bb.contains(&Point::new([0.0, 0.0])));
+        assert_eq!(bb.min_dist(&Point::new([0.0, 0.0])), 1.0);
+    }
+
+    #[test]
     fn min_dist_inside_is_zero() {
         let bb = unit_box();
         assert_eq!(bb.min_dist(&Point::new([0.3, 0.7])), 0.0);

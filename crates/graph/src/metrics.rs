@@ -247,6 +247,70 @@ mod tests {
     }
 
     #[test]
+    fn csr_and_per_block_accounting_agree_on_random_graphs() {
+        // Cross-check the one-pass CSR computation in `evaluate_partition`
+        // against independent per-block accounting, on deterministic
+        // pseudo-random graphs and assignments.
+        let mut rng = geographer_geometry::SplitMix64::new(0x0123_4567_89AB_CDEF);
+        let mut next = move || rng.next_u64();
+        for trial in 0..20 {
+            let n = 2 + (next() % 120) as usize;
+            let k = 1 + (next() % 6) as usize;
+            let m_raw = (next() % 400) as usize;
+            let edges: Vec<(u32, u32)> = (0..m_raw)
+                .map(|_| ((next() % n as u64) as u32, (next() % n as u64) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let asg: Vec<u32> = (0..n).map(|_| (next() % k as u64) as u32).collect();
+            let w: Vec<f64> = (0..n).map(|_| 1.0 + (next() % 5) as f64).collect();
+
+            let m = evaluate_partition(&g, &asg, &w, k);
+
+            // Edge cut, recounted straight off the CSR adjacency.
+            let mut cut = 0u64;
+            for v in 0..n as u32 {
+                for &u in g.neighbors(v) {
+                    if v < u && asg[v as usize] != asg[u as usize] {
+                        cut += 1;
+                    }
+                }
+            }
+            assert_eq!(m.edge_cut, cut, "trial {trial}: edge cut mismatch");
+
+            // Communication volume, recounted per block from scratch.
+            let mut comm = vec![0u64; k];
+            for v in 0..n as u32 {
+                let bv = asg[v as usize];
+                let mut foreign: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| asg[u as usize])
+                    .filter(|&b| b != bv)
+                    .collect();
+                foreign.sort_unstable();
+                foreign.dedup();
+                comm[bv as usize] += foreign.len() as u64;
+            }
+            assert_eq!(m.comm_volume, comm, "trial {trial}: comm volume mismatch");
+            assert_eq!(m.max_comm_volume, comm.iter().copied().max().unwrap());
+            assert_eq!(m.total_comm_volume, comm.iter().sum::<u64>());
+
+            // Imbalance, recomputed from per-block weights.
+            let mut bw = vec![0.0f64; k];
+            for (v, &b) in asg.iter().enumerate() {
+                bw[b as usize] += w[v];
+            }
+            let avg = bw.iter().sum::<f64>() / k as f64;
+            let want = bw.iter().copied().fold(0.0, f64::max) / avg - 1.0;
+            assert!(
+                (m.imbalance - want).abs() < 1e-12,
+                "trial {trial}: imbalance {} != {want}",
+                m.imbalance
+            );
+        }
+    }
+
+    #[test]
     fn empty_block_allowed() {
         let g = CsrGraph::from_edges(2, &[(0, 1)]);
         let m = evaluate_partition(&g, &[0, 0], &[1.0; 2], 2);

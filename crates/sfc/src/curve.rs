@@ -251,6 +251,66 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_at_max_resolution_2d() {
+        // Exhaustive bijectivity is infeasible at 31 bits/axis; sample the
+        // lattice deterministically instead, including both extremes.
+        let bits = max_bits(2).min(31);
+        let max = (1u32 << bits) - 1;
+        let mut rng = geographer_geometry::SplitMix64::new(2026);
+        let mut cells: Vec<[u32; 2]> =
+            vec![[0, 0], [max, max], [0, max], [max, 0], [1, max - 1]];
+        cells.extend((0..500).map(|_| {
+            [rng.next_below(1 << bits) as u32, rng.next_below(1 << bits) as u32]
+        }));
+        for c in cells {
+            let idx = hilbert_index(c, bits);
+            assert_eq!(hilbert_coords::<2>(idx, bits), c, "round-trip failed for {c:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_at_max_resolution_3d() {
+        let bits = max_bits(3).min(31); // 21 bits/axis
+        let max = (1u32 << bits) - 1;
+        let mut rng = geographer_geometry::SplitMix64::new(2027);
+        let mut cells: Vec<[u32; 3]> = vec![[0, 0, 0], [max, max, max], [0, max, 0]];
+        cells.extend((0..500).map(|_| {
+            [
+                rng.next_below(1 << bits) as u32,
+                rng.next_below(1 << bits) as u32,
+                rng.next_below(1 << bits) as u32,
+            ]
+        }));
+        for c in cells {
+            let idx = hilbert_index(c, bits);
+            assert_eq!(hilbert_coords::<3>(idx, bits), c, "round-trip failed for {c:?}");
+        }
+    }
+
+    #[test]
+    fn index_zero_is_origin() {
+        // The curve starts at the lattice origin at every resolution —
+        // the anchor that makes keys comparable across resolutions.
+        for bits in 1..=16 {
+            assert_eq!(hilbert_index([0u32, 0], bits), 0);
+            assert_eq!(hilbert_coords::<2>(0, bits), [0, 0]);
+        }
+        assert_eq!(hilbert_index([0u32, 0, 0], 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coordinate_beyond_resolution_panics() {
+        let _ = hilbert_index([4u32, 0], 2); // 4 needs 3 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "bits out of range")]
+    fn excessive_bits_panic_3d() {
+        let _ = hilbert_index([0u32, 0, 0], 22); // 3 * 22 > 64
+    }
+
+    #[test]
     fn curve_is_continuous_2d() {
         // Consecutive Hilbert indices always map to adjacent lattice cells.
         let bits = 5;

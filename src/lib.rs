@@ -10,6 +10,7 @@
 //! * [`geographer_mesh`] — workload generators;
 //! * [`geographer_graph`] — CSR graphs and partition metrics;
 //! * [`geographer_parcomm`] — the SPMD communication layer;
+//! * [`geographer_refine`] — graph-aware boundary refinement;
 //! * [`geographer_dsort`] — distributed sorting/selection;
 //! * [`geographer_sfc`] — Hilbert curves;
 //! * [`geographer_spmv`] — the SpMV communication benchmark;
@@ -24,6 +25,7 @@ pub use geographer_geometry;
 pub use geographer_graph;
 pub use geographer_mesh;
 pub use geographer_parcomm;
+pub use geographer_refine;
 pub use geographer_sfc;
 pub use geographer_spmv;
 pub use geographer_viz;

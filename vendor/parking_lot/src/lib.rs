@@ -1,0 +1,162 @@
+//! Offline shim for the `parking_lot` crate, implementing the subset of its
+//! API this workspace uses on top of `std::sync`. The container that builds
+//! this repo has no crates.io access, so the real crate cannot be fetched;
+//! this shim keeps the `parking_lot` ergonomics (infallible `lock()`,
+//! `Condvar::wait(&mut guard)`) while delegating to the standard library.
+//!
+//! Poisoning is deliberately ignored (`parking_lot` has no poisoning): a
+//! panicking thread that held a lock leaves the data as-is, matching the
+//! real crate's semantics closely enough for this workspace's usage.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion primitive with `parking_lot`'s infallible API.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available. Never fails:
+    /// poison from a panicked holder is ignored, as in `parking_lot`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Holds the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take ownership (std's `Condvar` consumes and returns the guard, while
+/// `parking_lot`'s mutates it in place).
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable with `parking_lot`'s in-place `wait` API.
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Block until notified, atomically releasing the guard's mutex.
+    /// Spurious wakeups are possible, exactly as with the real crate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present before wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(inner);
+    }
+
+    /// Wake a single waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

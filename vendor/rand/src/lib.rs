@@ -1,0 +1,215 @@
+//! Offline shim for the `rand` crate (0.9-style API surface), implementing
+//! exactly the subset this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{random, random_range}`.
+//!
+//! The container that builds this repo has no crates.io access, so the real
+//! crate cannot be fetched. The shim's `StdRng` is xoshiro256++ seeded via
+//! SplitMix64 — a fixed, platform-independent algorithm, so any seed
+//! produces bit-identical streams on every OS/architecture/toolchain. That
+//! pinning is load-bearing: the workload generators in `geographer_mesh`
+//! derive meshes from seeds, and the reproducibility tests
+//! (`tests/spmd_invariance.rs`, `tests/proptests.rs`) assume seeded
+//! generation is stable everywhere.
+
+use std::ops::Range;
+
+/// Types that can seed an RNG. Only `seed_from_u64` is provided — the sole
+/// constructor used in this workspace (all mesh generators take `u64` seeds).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`,
+    /// identically on every platform.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling interface, in the `rand` 0.9 naming (`random`,
+/// `random_range`). Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (uniform `[0,1)` for floats, uniform over all values for integers).
+    fn random<T: StandardDistribution>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a standard distribution for [`Rng::random`].
+pub trait StandardDistribution: Sized {
+    /// Draw one standard-distribution sample.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardDistribution for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDistribution for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardDistribution for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardDistribution for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardDistribution for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a `Range` for [`Rng::random_range`].
+pub trait SampleUniform: Sized {
+    /// Draw one sample from `range`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Uniform `u64` in `[0, n)` by widening multiply (Lemire reduction without
+/// the rejection step; the bias of at most `n/2^64` is irrelevant at the
+/// range sizes used here and keeps the stream platform-identical).
+fn below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seeding. Unlike the real `rand`'s `StdRng` (whose algorithm is
+    /// explicitly unspecified across versions), this one is pinned forever,
+    /// which is what the reproducibility tests want.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding recipe.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn pinned_golden_values() {
+        // Regression anchor: these exact values must hold on every
+        // platform. If they change, seeded mesh generation changes too.
+        let mut r = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| r.random::<u64>()).collect();
+        assert_eq!(
+            first,
+            vec![5987356902031041503, 7051070477665621255, 6633766593972829180]
+        );
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.random_range(0u32..17);
+            assert!(x < 17);
+            let f = r.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = r.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

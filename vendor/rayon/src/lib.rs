@@ -1,0 +1,141 @@
+//! Offline shim for the `rayon` crate, implementing the subset this
+//! workspace uses — `slice.par_iter().map(f).collect::<Vec<_>>()` — with
+//! real data parallelism over `std::thread::scope`.
+//!
+//! The container that builds this repo has no crates.io access, so the real
+//! crate cannot be fetched. Instead of a work-stealing pool, the shim
+//! splits the input slice into one contiguous chunk per available core,
+//! maps each chunk on its own scoped thread, and concatenates the results
+//! in order. For the workspace's two call sites (the k-means assignment
+//! loop and per-block diameter bounds) that chunking is exactly the right
+//! shape: uniform, memory-bound batch maps.
+//!
+//! Order and output are identical to the sequential path by construction,
+//! which `geographer::kmeans`'s `rayon_path_matches_serial` test checks.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used by [`ParMap::collect`]: the machine's
+/// available parallelism, overridable via `RAYON_NUM_THREADS` like the real
+/// crate.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Borrowing entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: 'a;
+
+    /// A parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` (applied in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { slice: self.slice, f }
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Apply the map across all cores and gather results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.slice.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n < 2 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let par: Vec<u64> = v.par_iter().map(|x| x * 3 + 1).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
