@@ -16,31 +16,30 @@ use geographer_sfc::HilbertMapper;
 /// comfortably inside u64 in 3D too.
 const HSFC_BITS: u32 = 16;
 
-/// Compute the global bounding box of a distributed point set.
+/// Compute the global bounding box of a distributed point set — a single
+/// fused min-reduce over `[mins | −maxs]`, like `geographer::global_bbox`.
 pub fn global_bounding_box<const D: usize, C: Comm>(
     comm: &C,
     points: &[Point<D>],
 ) -> Aabb<D> {
-    let mut mins = vec![f64::INFINITY; D];
-    let mut maxs = vec![f64::NEG_INFINITY; D];
+    let mut buf = vec![f64::INFINITY; 2 * D];
     for p in points {
         for d in 0..D {
-            mins[d] = mins[d].min(p[d]);
-            maxs[d] = maxs[d].max(p[d]);
+            buf[d] = buf[d].min(p[d]);
+            buf[D + d] = buf[D + d].min(-p[d]);
         }
     }
-    comm.allreduce_min_f64(&mut mins);
-    comm.allreduce_max_f64(&mut maxs);
+    comm.allreduce_min_f64(&mut buf);
     let mut lo = [0.0; D];
     let mut hi = [0.0; D];
     for d in 0..D {
+        let (mut mn, mut mx) = (buf[d], -buf[D + d]);
         // Empty global sets produce an empty unit box at the origin.
-        if mins[d] > maxs[d] {
-            mins[d] = 0.0;
-            maxs[d] = 1.0;
+        if mn > mx {
+            (mn, mx) = (0.0, 1.0);
         }
-        lo[d] = mins[d];
-        hi[d] = maxs[d];
+        lo[d] = mn;
+        hi[d] = mx;
     }
     Aabb::new(Point::new(lo), Point::new(hi))
 }

@@ -51,20 +51,23 @@ pub fn rcb_partition<const D: usize, C: Comm>(
         }
         let g = active.len();
 
-        // Batched global bounding boxes → widest dimension per region.
-        let mut mins = vec![f64::INFINITY; g * D];
-        let mut maxs = vec![f64::NEG_INFINITY; g * D];
+        // Batched global bounding boxes → widest dimension per region. One
+        // fused min-reduce carries the mins and the negated maxs of every
+        // region at this level.
+        let mut bounds = vec![f64::INFINITY; 2 * g * D];
+        let (mins, neg_maxs) = bounds.split_at_mut(g * D);
         for (j, region) in active.iter().enumerate() {
             for &i in &region.idx {
                 let p = &points[i as usize];
                 for d in 0..D {
                     mins[j * D + d] = mins[j * D + d].min(p[d]);
-                    maxs[j * D + d] = maxs[j * D + d].max(p[d]);
+                    neg_maxs[j * D + d] = neg_maxs[j * D + d].min(-p[d]);
                 }
             }
         }
-        comm.allreduce_min_f64(&mut mins);
-        comm.allreduce_max_f64(&mut maxs);
+        comm.allreduce_min_f64(&mut bounds);
+        let (mins, neg_maxs) = bounds.split_at(g * D);
+        let maxs: Vec<f64> = neg_maxs.iter().map(|x| -x).collect();
 
         // One grouped median search for the whole level.
         let mut dims = Vec::with_capacity(g);

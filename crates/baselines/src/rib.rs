@@ -247,18 +247,36 @@ mod tests {
 
     #[test]
     fn spmd_matches_shared_memory() {
+        // RIB's covariance sums are inexact floating-point reductions, so a
+        // multi-rank run follows a different (fixed) reduction tree than
+        // the single-rank one — last-ulp differences may flip individual
+        // points that lie exactly on a cut. Same contract as
+        // tests/spmd_invariance.rs: ≥ 99.5 % agreement and intact balance.
         let mut rng = SplitMix64::new(3);
         let pts: Vec<Point<2>> =
             (0..1200).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
         let w = vec![1.0; pts.len()];
-        let serial = rib_partition(&SelfComm, &pts, &w, 5);
+        let k = 5;
+        let serial = rib_partition(&SelfComm, &pts, &w, k);
         let results = run_spmd(3, |c| {
             let chunk = pts.len() / 3;
             let lo = c.rank() * chunk;
             let hi = if c.rank() == 2 { pts.len() } else { lo + chunk };
-            rib_partition(&c, &pts[lo..hi], &w[lo..hi], 5)
+            rib_partition(&c, &pts[lo..hi], &w[lo..hi], k)
         });
         let distributed: Vec<u32> = results.into_iter().flatten().collect();
-        assert_eq!(distributed, serial);
+        let agree = distributed
+            .iter()
+            .zip(&serial)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / serial.len() as f64;
+        assert!(agree >= 0.995, "only {:.2}% agreement with p=1", agree * 100.0);
+        let mut counts = vec![0usize; k];
+        for &b in &distributed {
+            counts[b as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / (pts.len() as f64 / k as f64) < 1.05, "imbalance: {counts:?}");
     }
 }

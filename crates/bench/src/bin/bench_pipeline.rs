@@ -1,0 +1,77 @@
+//! Perf-trajectory benchmark: run the full Geographer pipeline at a few
+//! rank counts on a fixed Delaunay instance and emit `BENCH_pipeline.json`
+//! in the current directory. The committed copy of that file is the
+//! repository's perf baseline: re-run this binary after substrate or
+//! hot-loop changes and diff the structural counters (rounds and
+//! bytes/rank are deterministic; wall-clock fields are machine-dependent
+//! context, not a regression gate).
+//!
+//! ```console
+//! $ cargo run --release -p geographer_bench --bin bench_pipeline
+//! ```
+
+use std::fmt::Write as _;
+
+use geographer::Config;
+use geographer_bench::{run_tool, scaled, CostModel, Tool};
+use geographer_mesh::delaunay_unit_square;
+use geographer_parcomm::Collective;
+
+fn main() {
+    let n = scaled(20_000);
+    let k = 8;
+    let mesh = delaunay_unit_square(n, 17);
+    let cfg = Config::default();
+    let model = CostModel::default();
+
+    let mut runs = String::new();
+    for (i, p) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let out = run_tool(Tool::Geographer, &mesh, k, p, &cfg);
+        let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
+        let mut per_op = String::new();
+        for (j, kind) in Collective::ALL.into_iter().enumerate() {
+            let op = out.comm.op(kind);
+            let _ = write!(
+                per_op,
+                "{}\"{}\": {{\"ops\": {}, \"rounds\": {}, \"bytes\": {}}}",
+                if j > 0 { ", " } else { "" },
+                kind.name(),
+                op.ops,
+                op.rounds,
+                op.bytes
+            );
+        }
+        let _ = write!(
+            runs,
+            "{}    {{\"p\": {}, \"k\": {}, \"wall_serialized_s\": {:.4}, \
+             \"modeled_parallel_s\": {:.6}, \"rounds\": {}, \"bytes_per_rank\": {}, \
+             \"per_op\": {{{}}}}}",
+            if i > 0 { ",\n" } else { "" },
+            p,
+            k,
+            out.wall_seconds,
+            modeled,
+            out.comm.rounds(),
+            out.comm.bytes_per_rank(),
+            per_op
+        );
+        eprintln!(
+            "p={p}: wall(serialized)={:.3}s modeled={:.4}s rounds={} bytes/rank={}",
+            out.wall_seconds,
+            modeled,
+            out.comm.rounds(),
+            out.comm.bytes_per_rank()
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"tool\": \"Geographer\",\n  \
+         \"mesh\": {{\"kind\": \"delaunay_unit_square\", \"n\": {n}, \"seed\": 17}},\n  \
+         \"cost_model\": {{\"alpha_s\": {:.1e}, \"beta_s_per_byte\": {:.1e}}},\n  \
+         \"runs\": [\n{runs}\n  ]\n}}\n",
+        model.alpha, model.beta
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("{json}");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -29,13 +29,13 @@ fn main() {
             let lo = comm.rank() * chunk;
             let hi = if comm.rank() == p - 1 { n } else { lo + chunk };
             let res = partition_spmd(&comm, &points[lo..hi], &weights[lo..hi], p.max(2), &cfg);
-            res.timings
+            (res.timings, res.phase_comm)
         });
         // Phases are synchronized by collectives: sum across ranks gives the
         // serialized share of each phase.
-        let sfc: f64 = results.iter().map(|t| t.sfc_index).sum();
-        let redist: f64 = results.iter().map(|t| t.redistribute).sum();
-        let kmeans: f64 = results.iter().map(|t| t.kmeans).sum();
+        let sfc: f64 = results.iter().map(|(t, _)| t.sfc_index).sum();
+        let redist: f64 = results.iter().map(|(t, _)| t.redistribute).sum();
+        let kmeans: f64 = results.iter().map(|(t, _)| t.kmeans).sum();
         let total = sfc + redist + kmeans;
         table.row(vec![
             p.to_string(),
@@ -44,6 +44,19 @@ fn main() {
             format!("{:.1}", 100.0 * kmeans / total),
             format!("{total:.3}s"),
         ]);
+        // Per-phase communication structure (rank 0's view is global): the
+        // redistribution phase is volume-heavy, k-means is round-heavy.
+        let pc = &results[0].1;
+        eprintln!(
+            "  p={p}: comm rounds sfc={} redistribute={} kmeans={} | \
+             bytes/rank sfc={} redistribute={} kmeans={}",
+            pc.sfc_index.rounds(),
+            pc.redistribute.rounds(),
+            pc.kmeans.rounds(),
+            pc.sfc_index.bytes_per_rank(),
+            pc.redistribute.bytes_per_rank(),
+            pc.kmeans.bytes_per_rank(),
+        );
     }
     table.print();
     println!("\n(expected: redistribution share grows with p, k-means share shrinks)");

@@ -9,6 +9,7 @@
 use geographer::Config;
 use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
 use geographer_mesh::delaunay_unit_square;
+use geographer_parcomm::Collective;
 
 fn main() {
     let per_rank = scaled(4000);
@@ -31,12 +32,18 @@ fn main() {
             let out = run_tool(tool, &mesh, p.max(2), p, &cfg);
             let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
             cells.push(format!("{:.2}", modeled * 1e3));
+            let red = out.comm.op(Collective::Allreduce);
             eprintln!(
-                "  p={p} {}: wall(serialized)={:.2}s collectives={} bytes={}",
+                "  p={p} {}: wall(serialized)={:.2}s ops={} rounds={} \
+                 bytes/rank={} (allreduce: {} ops, {} rounds, {} B)",
                 tool.name(),
                 out.wall_seconds,
-                out.comm.collectives,
-                out.comm.bytes
+                out.comm.collectives(),
+                out.comm.rounds(),
+                out.comm.bytes_per_rank(),
+                red.ops,
+                red.rounds,
+                red.bytes
             );
         }
         table.row(cells);

@@ -9,6 +9,7 @@
 use geographer::Config;
 use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
 use geographer_mesh::delaunay_unit_square;
+use geographer_parcomm::Collective;
 
 fn main() {
     let n = scaled(120_000);
@@ -28,12 +29,19 @@ fn main() {
             let out = run_tool(tool, &mesh, p, p, &cfg);
             let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
             cells.push(format!("{:.2}", modeled * 1e3));
+            let red = out.comm.op(Collective::Allreduce);
+            let a2a = out.comm.op(Collective::Alltoallv);
             eprintln!(
-                "  p={p} {}: wall(serialized)={:.2}s collectives={} bytes={}",
+                "  p={p} {}: wall(serialized)={:.2}s rounds={} bytes/rank={} \
+                 (allreduce {} rounds / {} B; alltoallv {} ops / {} B)",
                 tool.name(),
                 out.wall_seconds,
-                out.comm.collectives,
-                out.comm.bytes
+                out.comm.rounds(),
+                out.comm.bytes_per_rank(),
+                red.rounds,
+                red.bytes,
+                a2a.ops,
+                a2a.bytes
             );
         }
         table.row(cells);

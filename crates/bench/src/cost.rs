@@ -6,32 +6,38 @@
 //! The scaling figures therefore report a modeled time
 //!
 //! ```text
-//! T(p) = serialized_compute / p  +  α · collectives  +  β · bytes / p
+//! T(p) = serialized_compute / p  +  α · rounds  +  β · bytes_per_rank
 //! ```
 //!
-//! where `collectives` and `bytes` are *measured* from the run's
-//! communication counters (they are structural properties of the
-//! algorithm, not of the machine), and α/β are set to typical
-//! cluster-interconnect constants. The compute term assumes perfect
-//! scaling — balanced k-means and the baselines are all data-parallel in
-//! their point loops, which is what the paper observes too; what
-//! differentiates the tools at scale is the collective structure, which we
-//! measure rather than model. See DESIGN.md §3.
+//! where `rounds` (barrier-synchronized communication steps) and
+//! `bytes_per_rank` (payload bytes received by a rank) come from the
+//! per-collective counters the substrate measures — they are structural
+//! properties of the algorithm, not of the machine — and α/β are set to
+//! typical cluster-interconnect constants. With native collectives the two
+//! terms are faithful: a recursive-doubling allreduce contributes
+//! `⌈log₂ p⌉` rounds and `O(m·log p)` received bytes per rank, exactly the
+//! α–β cost of its MPI counterpart, where the earlier allgather-derived
+//! substrate charged `O(m·p)` volume and poisoned the model. The compute
+//! term assumes perfect scaling — balanced k-means and the baselines are
+//! all data-parallel in their point loops, which is what the paper
+//! observes too; what differentiates the tools at scale is the collective
+//! structure, which we measure rather than model. See DESIGN.md §3.
 
 use geographer_parcomm::CommStats;
 
 /// Machine constants of the modeled cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
-    /// Seconds per collective round (latency + synchronisation).
+    /// Seconds per synchronization round (latency + synchronisation).
     pub alpha: f64,
-    /// Seconds per payload byte (inverse aggregate bandwidth).
+    /// Seconds per payload byte received by a rank (inverse per-link
+    /// bandwidth).
     pub beta: f64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        // 20 µs per collective, 0.5 ns/byte (≈ 2 GB/s effective) — typical
+        // 20 µs per round, 0.5 ns/byte (≈ 2 GB/s effective) — typical
         // commodity-cluster MPI numbers.
         CostModel { alpha: 20e-6, beta: 0.5e-9 }
     }
@@ -42,20 +48,26 @@ impl CostModel {
     /// `serialized_seconds`, on `p` ranks, with measured `comm` counters.
     pub fn modeled_seconds(&self, serialized_seconds: f64, p: usize, comm: &CommStats) -> f64 {
         assert!(p >= 1);
-        serialized_seconds / p as f64
-            + self.alpha * comm.collectives as f64
-            + self.beta * comm.bytes as f64 / p as f64
+        serialized_seconds / p as f64 + comm.modeled_seconds(self.alpha, self.beta)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geographer_parcomm::{Collective, OpStats};
+
+    fn stats(ranks: u64, rounds: u64, total_bytes: u64) -> CommStats {
+        let mut s = CommStats { ranks, ..CommStats::default() };
+        s.per_op[Collective::Allreduce as usize] =
+            OpStats { ops: rounds.max(1), rounds, bytes: total_bytes };
+        s
+    }
 
     #[test]
     fn compute_term_scales_down_with_p() {
         let m = CostModel::default();
-        let comm = CommStats { collectives: 0, bytes: 0 };
+        let comm = CommStats::default();
         let t1 = m.modeled_seconds(8.0, 1, &comm);
         let t8 = m.modeled_seconds(8.0, 8, &comm);
         assert_eq!(t1, 8.0);
@@ -65,18 +77,25 @@ mod tests {
     #[test]
     fn latency_term_does_not_scale() {
         let m = CostModel { alpha: 1e-3, beta: 0.0 };
-        let comm = CommStats { collectives: 100, bytes: 0 };
-        let t2 = m.modeled_seconds(0.0, 2, &comm);
-        let t64 = m.modeled_seconds(0.0, 64, &comm);
+        let t2 = m.modeled_seconds(0.0, 2, &stats(2, 100, 0));
+        let t64 = m.modeled_seconds(0.0, 64, &stats(64, 100, 0));
         assert_eq!(t2, t64, "latency is the non-scaling floor");
         assert_eq!(t2, 0.1);
     }
 
     #[test]
-    fn more_collectives_cost_more() {
+    fn bandwidth_term_uses_per_rank_volume() {
+        let m = CostModel { alpha: 0.0, beta: 1e-6 };
+        // 4000 total received bytes over 4 ranks → 1000 per rank.
+        let t = m.modeled_seconds(0.0, 4, &stats(4, 1, 4000));
+        assert!((t - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_rounds_cost_more() {
         let m = CostModel::default();
-        let few = CommStats { collectives: 10, bytes: 1000 };
-        let many = CommStats { collectives: 1000, bytes: 1000 };
+        let few = stats(4, 10, 1000);
+        let many = stats(4, 1000, 1000);
         assert!(m.modeled_seconds(1.0, 4, &many) > m.modeled_seconds(1.0, 4, &few));
     }
 }

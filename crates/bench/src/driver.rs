@@ -176,7 +176,8 @@ mod tests {
         let cfg = Config::default();
         let p1 = run_tool(Tool::Rcb, &mesh, 8, 1, &cfg);
         let p4 = run_tool(Tool::Rcb, &mesh, 8, 4, &cfg);
-        assert!(p4.comm.bytes > p1.comm.bytes, "multi-rank runs move bytes");
+        assert!(p4.comm.bytes() > p1.comm.bytes(), "multi-rank runs move bytes");
+        assert!(p4.comm.rounds() > 0, "collective rounds must be counted");
         // Same partition regardless of rank count.
         assert_eq!(p1.assignment, p4.assignment);
     }

@@ -126,6 +126,11 @@ struct Solver<'a, const D: usize> {
     w_max: f64,
     /// Normalized per-block target weight fractions (uniform = 1/k each).
     fractions: Vec<f64>,
+    /// Reusable output buffer of the assignment pass, pre-sized to the
+    /// local point count: the hot loop writes evaluations into it in place
+    /// (via `collect_into_vec` on the parallel path) instead of allocating
+    /// a fresh result vector every balance iteration.
+    evals: Vec<Eval>,
     stats: KMeansStats,
 }
 
@@ -175,6 +180,8 @@ impl<const D: usize> Solver<'_, D> {
     fn assign_and_balance<C: Comm>(&mut self, comm: &C, active: &[u32]) -> Vec<f64> {
         let k = self.k;
         let mut global_sizes = vec![0.0f64; k];
+        let mut local_sizes = vec![0.0f64; k];
+        let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(k);
         for balance_iter in 0..self.cfg.max_balance_iterations {
             self.stats.balance_iterations += 1;
 
@@ -183,35 +190,41 @@ impl<const D: usize> Solver<'_, D> {
             // (see DESIGN.md erratum 4 — the paper prints maxDist, which
             // would make the early break unsound).
             let bb = Aabb::from_points_indexed(self.points, active);
-            let mut sorted: Vec<(f64, u32)> = (0..k as u32)
-                .map(|c| {
-                    let d = match &bb {
-                        Some(bb) => {
-                            bb.min_dist(&self.centers[c as usize])
-                                / self.influence[c as usize]
-                        }
-                        None => 0.0,
-                    };
-                    (d, c)
-                })
-                .collect();
+            sorted.clear();
+            sorted.extend((0..k as u32).map(|c| {
+                let d = match &bb {
+                    Some(bb) => {
+                        bb.min_dist(&self.centers[c as usize])
+                            / self.influence[c as usize]
+                    }
+                    None => 0.0,
+                };
+                (d, c)
+            }));
             if self.cfg.bbox_pruning {
                 sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             }
 
-            // Assignment pass over the active points.
+            // Assignment pass over the active points, written into the
+            // solver's reusable buffer — no per-point allocation.
             let use_rayon = self.cfg.parallel_local && active.len() >= 4096;
-            let this: &Solver<'_, D> = self;
-            let evals: Vec<Eval> = if use_rayon {
-                active
-                    .par_iter()
-                    .map(|&p| this.evaluate_point(p as usize, &sorted))
-                    .collect()
-            } else {
-                active.iter().map(|&p| this.evaluate_point(p as usize, &sorted)).collect()
-            };
+            let mut evals = std::mem::take(&mut self.evals);
+            {
+                let this: &Solver<'_, D> = self;
+                if use_rayon {
+                    active
+                        .par_iter()
+                        .map(|&p| this.evaluate_point(p as usize, &sorted))
+                        .collect_into_vec(&mut evals);
+                } else {
+                    evals.clear();
+                    evals.extend(
+                        active.iter().map(|&p| this.evaluate_point(p as usize, &sorted)),
+                    );
+                }
+            }
 
-            let mut local_sizes = vec![0.0f64; k];
+            local_sizes.iter_mut().for_each(|s| *s = 0.0);
             for (&p, ev) in active.iter().zip(&evals) {
                 let p = p as usize;
                 self.assignment[p] = ev.assignment;
@@ -223,6 +236,7 @@ impl<const D: usize> Solver<'_, D> {
                 self.stats.bbox_breaks += u64::from(ev.bbox_break);
                 local_sizes[ev.assignment as usize] += self.weights[p];
             }
+            self.evals = evals;
 
             // The only communication of the balance loop (Alg. 1 line 31).
             global_sizes.copy_from_slice(&local_sizes);
@@ -371,6 +385,7 @@ pub fn balanced_kmeans<const D: usize, C: Comm>(
         lb: vec![0.0; n_local],
         w_max,
         fractions: cfg.fractions(k),
+        evals: Vec::with_capacity(n_local),
         stats: KMeansStats::default(),
     };
 

@@ -72,4 +72,6 @@ pub mod pipeline;
 
 pub use config::Config;
 pub use kmeans::{balanced_kmeans, KMeansOutput, KMeansStats};
-pub use pipeline::{global_bbox, partition, partition_spmd, PipelineResult, PipelineTimings};
+pub use pipeline::{
+    global_bbox, partition, partition_spmd, PhaseComm, PipelineResult, PipelineTimings,
+};

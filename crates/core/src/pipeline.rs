@@ -48,6 +48,24 @@ impl PipelineTimings {
     }
 }
 
+/// Per-collective communication counters of each pipeline phase (the
+/// snapshots diffed around the phase boundaries). The Components breakdown
+/// of Sec. 5.3.2 reads these next to the wall-clock timings: the
+/// redistribution phase is volume-dominated (one alltoallv moving the
+/// points), while the k-means phase is round-dominated (one short
+/// allreduce per balance iteration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseComm {
+    /// Hilbert index phase (bounding box, id offsets).
+    pub sfc_index: CommStats,
+    /// Global sort + redistribution.
+    pub redistribute: CommStats,
+    /// Balanced k-means iterations.
+    pub kmeans: CommStats,
+    /// Assignment write-back (evaluation only).
+    pub writeback: CommStats,
+}
+
 /// Result of a pipeline run on one rank.
 #[derive(Debug, Clone)]
 pub struct PipelineResult<const D: usize> {
@@ -61,30 +79,33 @@ pub struct PipelineResult<const D: usize> {
     pub stats: KMeansStats,
     /// Communication counters accumulated during the timed phases.
     pub comm_stats: CommStats,
+    /// The same counters broken down by pipeline phase.
+    pub phase_comm: PhaseComm,
 }
 
-/// Global bounding box of a distributed point set (one collective).
+/// Global bounding box of a distributed point set — a single min-reduce:
+/// the buffer carries `[min_0…min_{D−1}, −max_0…−max_{D−1}]`, so one
+/// collective finds both corners (the min(−max) trick also used by the
+/// quantile searches in `geographer_dsort`).
 pub fn global_bbox<const D: usize, C: Comm>(comm: &C, points: &[Point<D>]) -> Aabb<D> {
-    let mut mins = vec![f64::INFINITY; D];
-    let mut maxs = vec![f64::NEG_INFINITY; D];
+    let mut buf = vec![f64::INFINITY; 2 * D];
     for p in points {
         for d in 0..D {
-            mins[d] = mins[d].min(p[d]);
-            maxs[d] = maxs[d].max(p[d]);
+            buf[d] = buf[d].min(p[d]);
+            buf[D + d] = buf[D + d].min(-p[d]);
         }
     }
-    comm.allreduce_min_f64(&mut mins);
-    comm.allreduce_max_f64(&mut maxs);
+    comm.allreduce_min_f64(&mut buf);
     let mut lo = [0.0; D];
     let mut hi = [0.0; D];
     for d in 0..D {
-        if mins[d] > maxs[d] {
+        let (mut mn, mut mx) = (buf[d], -buf[D + d]);
+        if mn > mx {
             // Globally empty input: unit box.
-            mins[d] = 0.0;
-            maxs[d] = 1.0;
+            (mn, mx) = (0.0, 1.0);
         }
-        lo[d] = mins[d];
-        hi[d] = maxs[d];
+        lo[d] = mn;
+        hi[d] = mx;
     }
     Aabb::new(Point::new(lo), Point::new(hi))
 }
@@ -97,6 +118,20 @@ struct Tagged<const D: usize> {
     id: u64,
     coords: [f64; D],
     weight: f64,
+}
+
+/// Phase-boundary counter snapshot. Collectives record their counters at
+/// entry, so without synchronization a fast rank could enter the next
+/// phase's first collective while a slow rank is still reading the
+/// boundary snapshot, misattributing bytes between phases. The barrier
+/// pair makes the snapshot a consistent cut: after the first barrier every
+/// rank has finished the previous phase, and no rank proceeds past the
+/// second until everyone has read.
+fn phase_snapshot<C: Comm>(comm: &C) -> CommStats {
+    comm.barrier();
+    let s = comm.stats();
+    comm.barrier();
+    s
 }
 
 /// Run the full Geographer pipeline SPMD. `points`/`weights` are this
@@ -114,7 +149,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
 ) -> PipelineResult<D> {
     assert_eq!(points.len(), weights.len());
     cfg.validate();
-    let comm_before = comm.stats();
+    let comm_before = phase_snapshot(comm);
 
     // Phase 1: Hilbert indices.
     let t0 = Instant::now();
@@ -136,12 +171,14 @@ pub fn partition_spmd<const D: usize, C: Comm>(
         })
         .collect();
     let sfc_index = t0.elapsed().as_secs_f64();
+    let comm_after_index = phase_snapshot(comm);
 
     // Phase 2: global sort by key + rebalance to n/p per rank.
     let t1 = Instant::now();
     let sorted = sample_sort_by_key(comm, tagged, |t| t.key);
     let sorted = rebalance(comm, sorted);
     let redistribute = t1.elapsed().as_secs_f64();
+    let comm_after_redistribute = phase_snapshot(comm);
 
     // Phase 3: initial centers along the curve, then balanced k-means.
     let t2 = Instant::now();
@@ -150,7 +187,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let centers = initial_centers_from_sorted(comm, &sorted_points, k, global_n);
     let out = balanced_kmeans(comm, &sorted_points, &sorted_weights, k, centers, cfg);
     let kmeans = t2.elapsed().as_secs_f64();
-    let comm_after = comm.stats();
+    let comm_after = phase_snapshot(comm);
 
     // Phase 4 (untimed in the paper): route assignments back to the
     // original owners so callers see blocks in input order.
@@ -158,6 +195,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let assignment =
         route_back(comm, &sorted, &out.assignment, id_offset, local_n as usize);
     let writeback = t3.elapsed().as_secs_f64();
+    let comm_after_writeback = phase_snapshot(comm);
 
     PipelineResult {
         assignment,
@@ -165,6 +203,12 @@ pub fn partition_spmd<const D: usize, C: Comm>(
         timings: PipelineTimings { sfc_index, redistribute, kmeans, writeback },
         stats: out.stats,
         comm_stats: comm_after.since(&comm_before),
+        phase_comm: PhaseComm {
+            sfc_index: comm_after_index.since(&comm_before),
+            redistribute: comm_after_redistribute.since(&comm_after_index),
+            kmeans: comm_after.since(&comm_after_redistribute),
+            writeback: comm_after_writeback.since(&comm_after),
+        },
     }
 }
 

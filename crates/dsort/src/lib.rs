@@ -11,6 +11,15 @@
 //!   weighted quantile selection by bisection, the communication kernel
 //!   inside the RCB/RIB/MultiJagged/HSFC baselines (this is also how
 //!   Zoltan's RCB finds its median cuts: iterated weight counting).
+//!
+//! Both primitives run on the native collectives of `geographer_parcomm`
+//! (DESIGN.md §4): the sample-sort exchange is one move-once `alltoallv`
+//! plus a recursive-doubling exscan/allreduce pair in [`rebalance`], and
+//! every bisection iteration costs one `O(m·log p)`-volume allreduce. Range
+//! discovery is fused into a single reduction per search — the f64 paths
+//! pack `(min, −max)` pairs into one min-reduce, the u64 path reduces a
+//! `(min, max)` tuple — so a quantile search never spends two latency
+//! rounds where one suffices.
 
 // Fixed-dimension coordinate loops index several parallel arrays at once;
 // iterator-zip rewrites of those loops are less readable, not more.
@@ -299,8 +308,10 @@ pub fn weighted_quantiles_u64<C: Comm>(
     }
     let local_min = keys.iter().copied().min().unwrap_or(u64::MAX);
     let local_max = keys.iter().copied().max().unwrap_or(0);
-    let glo = comm.allreduce(local_min, u64::min);
-    let ghi = comm.allreduce(local_max, u64::max);
+    // One fused reduction finds both ends of the key range.
+    let (glo, ghi) = comm.allreduce((local_min, local_max), |a, b| {
+        (a.0.min(b.0), a.1.max(b.1))
+    });
     let mut wsum = [weights.iter().sum::<f64>()];
     comm.allreduce_sum_f64(&mut wsum);
     let total_w = wsum[0];

@@ -7,24 +7,44 @@
 //!
 //! * [`SelfComm`] — the trivial single-rank communicator, and
 //! * [`thread::ThreadComm`] — `p` OS threads acting as ranks, with real
-//!   synchronization (sense-reversing barriers) and per-collective byte
+//!   synchronization (sense-reversing barriers), **native collective
+//!   algorithms** (recursive-doubling reductions and scans, single-deposit
+//!   broadcast, move-once alltoallv), and per-collective byte/round
 //!   accounting.
 //!
 //! Algorithms written against [`Comm`] are structured exactly like their MPI
 //! counterparts: each rank owns a shard of the data and all cross-rank data
-//! flow is explicit. The byte/round counters feed the α–β cost model used by
-//! the scaling experiments (see DESIGN.md §3: on a 1-core CI box, wall-clock
-//! speedup is not observable, so scaling figures report modeled time from
-//! measured communication volume and per-rank work).
+//! flow is explicit. Every reduction, scan, and broadcast is an overridable
+//! trait method: the default bodies derive them from [`Comm::allgather`]
+//! (correct for any communicator, and all [`SelfComm`] needs), while
+//! `ThreadComm` overrides them with the native algorithms whose volumes
+//! match real MPI implementations — `O(m·log p)` received bytes per rank
+//! for an `m`-element reduction instead of the allgather's `O(m·p)`.
+//!
+//! The per-collective `(ops, rounds, bytes)` counters ([`CommStats`]) feed
+//! the α–β cost model used by the scaling experiments (see DESIGN.md §3:
+//! on a 1-core CI box, wall-clock speedup is not observable, so scaling
+//! figures report modeled time from measured communication volume and
+//! per-rank work).
 
 pub mod stats;
 pub mod thread;
 
-pub use stats::CommStats;
+pub use stats::{Collective, CommStats, OpStats};
 pub use thread::{run_spmd, ThreadComm};
 
 /// An MPI-like communicator. All collectives must be called by every rank
 /// of the communicator, in the same order (the usual MPI contract).
+///
+/// The reductions, scan, and broadcast have default bodies derived from
+/// [`Comm::allgather`]. They make a new implementation correct after
+/// providing only the five required methods (`rank`, `size`, `barrier`,
+/// `allgather`, `alltoallv`), but move `p` copies of every payload;
+/// communicators that care about volume (like [`ThreadComm`]) override
+/// them with native algorithms. Cross-rank floating-point reductions are
+/// deterministic per implementation but follow a *fixed reduction tree*
+/// that may differ between implementations and rank counts — exactly the
+/// associativity caveat of `MPI_Allreduce`.
 pub trait Comm {
     /// This rank's id in `0..size()`.
     fn rank(&self) -> usize;
@@ -49,7 +69,7 @@ pub trait Comm {
         CommStats::default()
     }
 
-    // ---- derived collectives -------------------------------------------
+    // ---- overridable collectives (allgather-derived reference bodies) ---
 
     /// Generic allreduce with a commutative, associative `combine`.
     fn allreduce<T, F>(&self, value: T, combine: F) -> T
@@ -171,5 +191,70 @@ mod tests {
         assert_eq!(c.exscan_sum_u64(5), 0);
         assert_eq!(c.broadcast(0, Some(7)), 7);
         assert_eq!(c.allreduce(3, |a, b| a + b), 3);
+        assert_eq!(c.stats(), CommStats::default());
+    }
+
+    /// A communicator providing only the five required methods (forwarded
+    /// to a `ThreadComm`), so every derived collective runs the
+    /// allgather-derived trait default instead of the native override.
+    struct MinimalComm(ThreadComm);
+
+    impl Comm for MinimalComm {
+        fn rank(&self) -> usize {
+            self.0.rank()
+        }
+        fn size(&self) -> usize {
+            self.0.size()
+        }
+        fn barrier(&self) {
+            self.0.barrier()
+        }
+        fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+            self.0.allgather(local)
+        }
+        fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+            self.0.alltoallv(sends)
+        }
+    }
+
+    #[test]
+    fn derived_bodies_match_native_ones() {
+        // The allgather-derived defaults and ThreadComm's native overrides
+        // must implement the same specification: run each collective both
+        // ways on the same ranks and compare.
+        let results = run_spmd(5, |c| {
+            let minimal = MinimalComm(c.clone());
+            let mut native_sum = vec![c.rank() as f64 + 0.5, 2.0];
+            c.allreduce_sum_f64(&mut native_sum);
+            let mut derived_sum = vec![c.rank() as f64 + 0.5, 2.0];
+            minimal.allreduce_sum_f64(&mut derived_sum);
+            let pairs = [
+                (c.exscan_sum_u64(c.rank() as u64), minimal.exscan_sum_u64(c.rank() as u64)),
+                (
+                    c.broadcast(3, (c.rank() == 3).then_some(11u64)),
+                    minimal.broadcast(3, (c.rank() == 3).then_some(11u64)),
+                ),
+                (
+                    c.allreduce(c.rank() as u64, u64::max),
+                    minimal.allreduce(c.rank() as u64, u64::max),
+                ),
+            ];
+            (native_sum, derived_sum, pairs)
+        });
+        for (r, (native_sum, derived_sum, pairs)) in results.into_iter().enumerate() {
+            assert!((native_sum[0] - 12.5).abs() < 1e-12);
+            assert_eq!(native_sum[1], 10.0);
+            // Exact for the integer-valued second component; the first may
+            // differ from the derived rank-ordered fold by associativity.
+            assert_eq!(derived_sum[1], 10.0);
+            assert!((native_sum[0] - derived_sum[0]).abs() < 1e-12);
+            let [(ex_n, ex_d), (bc_n, bc_d), (mx_n, mx_d)] = pairs;
+            assert_eq!(ex_n, (0..r as u64).sum::<u64>());
+            assert_eq!(ex_n, ex_d);
+            assert_eq!(bc_n, 11);
+            assert_eq!(bc_n, bc_d);
+            assert_eq!(mx_n, 4);
+            assert_eq!(mx_n, mx_d);
+        }
     }
 }

@@ -1,59 +1,188 @@
-//! Communication counters.
+//! Per-collective communication counters.
 //!
-//! Every `ThreadComm` collective records how many payload bytes crossed
-//! ranks and how many collective rounds happened. The scaling experiments
-//! diff two snapshots around a phase and feed the result into an α–β cost
-//! model (latency per round + inverse bandwidth per byte), mirroring how
-//! the paper attributes its running time to communication vs. computation.
+//! Every rank of a `ThreadComm` records, for each collective *kind*, how
+//! many operations it entered, how many synchronization rounds those
+//! operations took, and how many payload bytes the rank *received*. The
+//! scaling experiments diff two [`CommStats`] snapshots around a phase and
+//! feed the result into an α–β cost model (latency per round + inverse
+//! bandwidth per received byte), mirroring how the paper attributes its
+//! running time to communication vs. computation (DESIGN.md §3).
+//!
+//! Semantics of the three counters per [`Collective`] kind:
+//!
+//! * `ops` — logical collective calls (counted once per call, not once per
+//!   rank; in an SPMD program every rank enters the same calls).
+//! * `rounds` — barrier-synchronized communication steps. A recursive
+//!   doubling allreduce on `p` ranks is one op of `⌈log₂ p⌉` rounds; an
+//!   allgather or single-deposit broadcast is one op of one round. The α
+//!   (latency) term of the cost model multiplies *rounds*, not ops.
+//! * `bytes` — payload bytes received, summed over all ranks. Sizes are
+//!   shallow (`size_of::<T>()` per element); heap payloads inside elements
+//!   are not followed. The β (bandwidth) term divides by the rank count to
+//!   get the per-rank volume that bounds the parallel time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotone counters shared by all ranks of a communicator.
-#[derive(Debug, Default)]
-pub struct StatsCell {
-    collectives: AtomicU64,
-    bytes: AtomicU64,
+/// The collective kinds the substrate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// Every rank gathers every rank's buffer.
+    Allgather,
+    /// Element-wise global reductions (sum/min/max, scalar or vector).
+    Allreduce,
+    /// One root's value distributed to all ranks.
+    Broadcast,
+    /// Exclusive prefix sum over ranks.
+    Exscan,
+    /// Personalized all-to-all exchange.
+    Alltoallv,
 }
 
-impl StatsCell {
-    /// Record one collective in which `bytes` payload bytes were contributed.
-    pub fn record(&self, bytes: u64) {
-        self.collectives.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
-    }
+/// Number of distinct [`Collective`] kinds.
+pub const COLLECTIVE_KINDS: usize = 5;
 
-    /// Current snapshot.
-    pub fn snapshot(&self) -> CommStats {
-        CommStats {
-            collectives: self.collectives.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
+impl Collective {
+    /// All kinds, in display order.
+    pub const ALL: [Collective; COLLECTIVE_KINDS] = [
+        Collective::Allgather,
+        Collective::Allreduce,
+        Collective::Broadcast,
+        Collective::Exscan,
+        Collective::Alltoallv,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::Allgather => "allgather",
+            Collective::Allreduce => "allreduce",
+            Collective::Broadcast => "broadcast",
+            Collective::Exscan => "exscan",
+            Collective::Alltoallv => "alltoallv",
         }
     }
 }
 
-/// A point-in-time view of the counters. Subtract snapshots to measure a
-/// phase.
+/// Counters of one collective kind (monotone; see the module docs for the
+/// exact semantics of each field).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CommStats {
-    /// Number of collective operations entered.
-    pub collectives: u64,
-    /// Total payload bytes contributed across all ranks.
+pub struct OpStats {
+    /// Logical collective calls.
+    pub ops: u64,
+    /// Barrier-synchronized communication rounds across those calls.
+    pub rounds: u64,
+    /// Payload bytes received, summed over ranks.
     pub bytes: u64,
 }
 
-impl CommStats {
-    /// Counter deltas since `earlier`.
-    pub fn since(&self, earlier: &CommStats) -> CommStats {
-        CommStats {
-            collectives: self.collectives - earlier.collectives,
+impl OpStats {
+    fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            ops: self.ops - earlier.ops,
+            rounds: self.rounds - earlier.rounds,
             bytes: self.bytes - earlier.bytes,
         }
     }
+}
 
-    /// Modeled communication seconds under an α–β model:
-    /// `alpha` seconds per collective round plus `beta` seconds per byte.
+/// One rank's monotone counters (each rank of a communicator owns one cell
+/// and only ever writes its own; snapshots read all cells).
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    ops: [AtomicU64; COLLECTIVE_KINDS],
+    rounds: [AtomicU64; COLLECTIVE_KINDS],
+    bytes: [AtomicU64; COLLECTIVE_KINDS],
+}
+
+impl StatsCell {
+    /// Record one collective of `kind` that took `rounds` synchronization
+    /// rounds and in which this rank received `received_bytes` payload
+    /// bytes.
+    pub fn record(&self, kind: Collective, rounds: u64, received_bytes: u64) {
+        let i = kind as usize;
+        self.ops[i].fetch_add(1, Ordering::Relaxed);
+        self.rounds[i].fetch_add(rounds, Ordering::Relaxed);
+        self.bytes[i].fetch_add(received_bytes, Ordering::Relaxed);
+    }
+
+    /// Current counters of one kind.
+    pub fn op_snapshot(&self, kind: Collective) -> OpStats {
+        let i = kind as usize;
+        OpStats {
+            ops: self.ops[i].load(Ordering::Relaxed),
+            rounds: self.rounds[i].load(Ordering::Relaxed),
+            bytes: self.bytes[i].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a communicator's counters, broken down by
+/// collective kind. Subtract snapshots with [`CommStats::since`] to measure
+/// a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Rank count of the communicator the snapshot came from (0 for the
+    /// trivial/default stats; treated as 1 by the per-rank accessors).
+    pub ranks: u64,
+    /// Counters per collective kind, indexed by `Collective as usize`.
+    pub per_op: [OpStats; COLLECTIVE_KINDS],
+}
+
+impl CommStats {
+    /// Aggregate the per-rank cells of one communicator: logical op/round
+    /// counts are taken from rank 0 (identical on every rank by the SPMD
+    /// contract), received bytes are summed over all ranks.
+    pub fn aggregate(ranks: usize, cells: &[StatsCell]) -> CommStats {
+        let mut out = CommStats { ranks: ranks as u64, per_op: Default::default() };
+        for (i, kind) in Collective::ALL.into_iter().enumerate() {
+            let lead = cells[0].op_snapshot(kind);
+            out.per_op[i].ops = lead.ops;
+            out.per_op[i].rounds = lead.rounds;
+            out.per_op[i].bytes = cells.iter().map(|c| c.op_snapshot(kind).bytes).sum();
+        }
+        out
+    }
+
+    /// Counters of one collective kind.
+    pub fn op(&self, kind: Collective) -> OpStats {
+        self.per_op[kind as usize]
+    }
+
+    /// Total logical collective calls across all kinds.
+    pub fn collectives(&self) -> u64 {
+        self.per_op.iter().map(|o| o.ops).sum()
+    }
+
+    /// Total synchronization rounds across all kinds (the latency count).
+    pub fn rounds(&self) -> u64 {
+        self.per_op.iter().map(|o| o.rounds).sum()
+    }
+
+    /// Total payload bytes received, summed over ranks.
+    pub fn bytes(&self) -> u64 {
+        self.per_op.iter().map(|o| o.bytes).sum()
+    }
+
+    /// Average payload bytes received per rank — the volume that bounds the
+    /// parallel communication time of a symmetric collective schedule.
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.bytes() / self.ranks.max(1)
+    }
+
+    /// Counter deltas since `earlier` (the rank count carries over).
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        let mut out = CommStats { ranks: self.ranks, per_op: Default::default() };
+        for i in 0..COLLECTIVE_KINDS {
+            out.per_op[i] = self.per_op[i].since(&earlier.per_op[i]);
+        }
+        out
+    }
+
+    /// Modeled communication seconds under an α–β model: `alpha` seconds
+    /// per synchronization round plus `beta` seconds per byte received by
+    /// a rank.
     pub fn modeled_seconds(&self, alpha: f64, beta: f64) -> f64 {
-        self.collectives as f64 * alpha + self.bytes as f64 * beta
+        self.rounds() as f64 * alpha + self.bytes_per_rank() as f64 * beta
     }
 }
 
@@ -64,25 +193,57 @@ mod tests {
     #[test]
     fn record_and_snapshot() {
         let cell = StatsCell::default();
-        cell.record(100);
-        cell.record(20);
-        let s = cell.snapshot();
-        assert_eq!(s.collectives, 2);
-        assert_eq!(s.bytes, 120);
+        cell.record(Collective::Allreduce, 3, 100);
+        cell.record(Collective::Allreduce, 3, 20);
+        cell.record(Collective::Broadcast, 1, 8);
+        let red = cell.op_snapshot(Collective::Allreduce);
+        assert_eq!(red, OpStats { ops: 2, rounds: 6, bytes: 120 });
+        let bc = cell.op_snapshot(Collective::Broadcast);
+        assert_eq!(bc, OpStats { ops: 1, rounds: 1, bytes: 8 });
+        assert_eq!(cell.op_snapshot(Collective::Exscan), OpStats::default());
     }
 
     #[test]
-    fn since_diffs() {
-        let a = CommStats { collectives: 2, bytes: 100 };
-        let b = CommStats { collectives: 5, bytes: 180 };
+    fn aggregate_sums_bytes_and_keeps_logical_counts() {
+        let cells = [StatsCell::default(), StatsCell::default()];
+        cells[0].record(Collective::Allgather, 1, 32);
+        cells[1].record(Collective::Allgather, 1, 32);
+        let s = CommStats::aggregate(2, &cells);
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.op(Collective::Allgather), OpStats { ops: 1, rounds: 1, bytes: 64 });
+        assert_eq!(s.collectives(), 1);
+        assert_eq!(s.rounds(), 1);
+        assert_eq!(s.bytes(), 64);
+        assert_eq!(s.bytes_per_rank(), 32);
+    }
+
+    #[test]
+    fn since_diffs_every_kind() {
+        let cell = StatsCell::default();
+        cell.record(Collective::Allreduce, 2, 100);
+        let a = CommStats::aggregate(1, std::slice::from_ref(&cell));
+        cell.record(Collective::Allreduce, 2, 80);
+        cell.record(Collective::Alltoallv, 1, 50);
+        let b = CommStats::aggregate(1, std::slice::from_ref(&cell));
         let d = b.since(&a);
-        assert_eq!(d, CommStats { collectives: 3, bytes: 80 });
+        assert_eq!(d.op(Collective::Allreduce), OpStats { ops: 1, rounds: 2, bytes: 80 });
+        assert_eq!(d.op(Collective::Alltoallv), OpStats { ops: 1, rounds: 1, bytes: 50 });
+        assert_eq!(d.collectives(), 2);
     }
 
     #[test]
-    fn modeled_seconds_is_linear() {
-        let s = CommStats { collectives: 10, bytes: 1000 };
+    fn modeled_seconds_is_linear_in_rounds_and_per_rank_bytes() {
+        let mut s = CommStats { ranks: 4, per_op: Default::default() };
+        s.per_op[Collective::Allreduce as usize] =
+            OpStats { ops: 5, rounds: 10, bytes: 4000 };
         let t = s.modeled_seconds(1e-5, 1e-9);
         assert!((t - (10.0 * 1e-5 + 1000.0 * 1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_stats_are_zero_and_safe() {
+        let s = CommStats::default();
+        assert_eq!(s.collectives(), 0);
+        assert_eq!(s.bytes_per_rank(), 0, "no division by zero ranks");
     }
 }

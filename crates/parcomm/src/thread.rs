@@ -2,22 +2,34 @@
 //!
 //! [`run_spmd`] launches `p` OS threads, each holding a [`ThreadComm`] with
 //! a distinct rank, and runs the same closure on all of them — the SPMD
-//! model of an `mpirun -np p` job. Collectives deposit each rank's
-//! contribution into a shared, type-erased slot table, synchronize with a
-//! sense-reversing barrier, then read the peers' contributions.
+//! model of an `mpirun -np p` job. Collectives synchronize with a
+//! sense-reversing barrier and move payloads through shared, type-erased
+//! slots.
 //!
-//! The implementation favours obviousness over throughput: a collective is
-//! two barriers and `p` mutex acquisitions. That is plenty for the
-//! experiment scale of this reproduction (the data plane — points, graphs —
-//! never moves through these slots wholesale; only collective payloads do,
-//! exactly as in the MPI original).
+//! Unlike the first iteration of this crate (which derived every collective
+//! from a p-wide allgather), each collective now runs its native algorithm
+//! with the volumes of its MPI counterpart (DESIGN.md §4):
+//!
+//! * reductions and scans use **recursive doubling** — `⌈log₂ p⌉` rounds of
+//!   pairwise exchange, `O(m·log p)` received bytes per rank instead of the
+//!   allgather's `O(m·p)`;
+//! * **broadcast** is a single deposit: the root writes one slot and the
+//!   `p−1` peers read it (no gather);
+//! * **alltoallv** uses a `p×p` mailbox matrix, so every send vector is
+//!   *moved* from sender to receiver exactly once, never cloned;
+//! * **allgather** keeps the one-round deposit-and-read-all schedule, which
+//!   is already volume-optimal for its semantics.
+//!
+//! Every rank records `(ops, rounds, received bytes)` per collective kind
+//! into its own [`StatsCell`]; [`ThreadComm::stats`] aggregates them into
+//! the per-op [`CommStats`] the α–β cost model consumes.
 
 use std::any::Any;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::stats::{CommStats, StatsCell};
+use crate::stats::{Collective, CommStats, StatsCell};
 use crate::Comm;
 
 /// A reusable (sense-reversing) barrier for `n` participants.
@@ -66,8 +78,13 @@ type Slot = Mutex<Option<Box<dyn Any + Send>>>;
 struct CommCore {
     size: usize,
     barrier: Barrier,
+    /// One payload slot per rank (reductions, gathers, broadcast).
     slots: Vec<Slot>,
-    stats: StatsCell,
+    /// `p×p` mailbox matrix for alltoallv: entry `s·p + d` carries what
+    /// rank `s` sends to rank `d`, moved in and moved out.
+    mail: Vec<Slot>,
+    /// One counter cell per rank; each rank writes only its own.
+    stats: Vec<StatsCell>,
 }
 
 /// One rank's handle into a threads-as-ranks communicator.
@@ -86,7 +103,8 @@ impl ThreadComm {
             size,
             barrier: Barrier::new(size),
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
-            stats: StatsCell::default(),
+            mail: (0..size * size).map(|_| Mutex::new(None)).collect(),
+            stats: (0..size).map(|_| StatsCell::default()).collect(),
         });
         (0..size).map(|rank| ThreadComm { core: Arc::clone(&core), rank }).collect()
     }
@@ -101,6 +119,112 @@ impl ThreadComm {
         let value = boxed.downcast_ref::<T>().expect("collective type mismatch");
         f(value)
     }
+
+    fn record(&self, kind: Collective, rounds: u64, received_bytes: u64) {
+        self.core.stats[self.rank].record(kind, rounds, received_bytes);
+    }
+
+    /// Core recursive-doubling (butterfly) schedule shared by every
+    /// allreduce variant.
+    ///
+    /// `p` is folded to the largest power of two `q ≤ p` first (the extra
+    /// ranks pre-reduce into their partner and receive the result back at
+    /// the end), then `log₂ q` pairwise exchange rounds run among the first
+    /// `q` ranks. `combine` is always applied in rank order — lower rank's
+    /// partial first — so every rank finishes with the bitwise-identical
+    /// value of one fixed reduction tree.
+    ///
+    /// `msg_bytes` is the payload size of one exchanged message. Counts are
+    /// recorded *at entry* (they are deterministic functions of `p` and the
+    /// payload size), so a rank that exits the collective can snapshot the
+    /// stats without racing slower peers' bookkeeping.
+    fn butterfly<T, F>(&self, kind: Collective, value: T, msg_bytes: u64, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let p = self.core.size;
+        if p == 1 {
+            self.record(kind, 0, 0);
+            return value;
+        }
+        let r = self.rank;
+        let q = prev_power_of_two(p);
+        let extra = p - q;
+        let log_q = q.trailing_zeros() as u64;
+        let rounds = log_q + if extra > 0 { 2 } else { 0 };
+        let my_exchanges = if r >= q {
+            1 // receives the finished result in the unfold round only
+        } else {
+            log_q + u64::from(r < extra)
+        };
+        self.record(kind, rounds, my_exchanges * msg_bytes);
+        let mut acc = value;
+
+        // Fold step: ranks q..p send their contribution to rank r−q.
+        if extra > 0 {
+            if r >= q {
+                self.deposit(acc.clone());
+            }
+            self.barrier();
+            if r < extra {
+                let theirs = self.peek::<T, _>(r + q, |t| t.clone());
+                acc = combine(acc, theirs);
+            }
+            self.barrier();
+        }
+
+        // Butterfly among ranks 0..q.
+        let mut gap = 1;
+        while gap < q {
+            if r < q {
+                self.deposit(acc.clone());
+            }
+            self.barrier();
+            if r < q {
+                let partner = r ^ gap;
+                let theirs = self.peek::<T, _>(partner, |t| t.clone());
+                acc = if partner < r { combine(theirs, acc) } else { combine(acc, theirs) };
+            }
+            self.barrier();
+            gap <<= 1;
+        }
+
+        // Unfold step: ranks 0..extra hand the result back to r+q.
+        if extra > 0 {
+            if r < extra {
+                self.deposit(acc.clone());
+            }
+            self.barrier();
+            if r >= q {
+                acc = self.peek::<T, _>(r - q, |t| t.clone());
+            }
+            self.barrier();
+        }
+        acc
+    }
+
+    /// Element-wise butterfly reduction of a slice, in place.
+    fn butterfly_slice<T, F>(&self, kind: Collective, buf: &mut [T], op: F)
+    where
+        T: Copy + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let msg_bytes = std::mem::size_of_val(buf) as u64;
+        let out = self.butterfly(kind, buf.to_vec(), msg_bytes, |mut lower, higher| {
+            for (x, t) in lower.iter_mut().zip(higher) {
+                *x = op(*x, t);
+            }
+            lower
+        });
+        buf.copy_from_slice(&out);
+    }
+}
+
+/// Largest power of two `≤ n` (`n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
 }
 
 impl Comm for ThreadComm {
@@ -117,40 +241,143 @@ impl Comm for ThreadComm {
     }
 
     fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
-        let bytes = (local.len() * std::mem::size_of::<T>()) as u64;
-        self.core.stats.record(bytes * (self.core.size as u64 - 1));
+        let p = self.core.size;
         self.deposit(local);
         self.barrier();
-        let mut out = Vec::with_capacity(self.core.size);
-        for r in 0..self.core.size {
+        let mut out = Vec::with_capacity(p);
+        let mut received = 0u64;
+        for r in 0..p {
             out.push(self.peek::<Vec<T>, _>(r, |v| v.clone()));
+            if r != self.rank {
+                received += (out[r].len() * std::mem::size_of::<T>()) as u64;
+            }
         }
-        // Nobody may overwrite a slot until everyone has read all of them.
+        // Record before the exit barrier so peers' post-collective
+        // snapshots see this rank's contribution; then nobody may
+        // overwrite a slot until everyone has read all of them.
+        self.record(Collective::Allgather, u64::from(p > 1), received);
         self.barrier();
         out
     }
 
     fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(sends.len(), self.core.size, "one send buffer per rank");
-        let off_rank_bytes: u64 = sends
-            .iter()
-            .enumerate()
-            .filter(|(r, _)| *r != self.rank)
-            .map(|(_, v)| (v.len() * std::mem::size_of::<T>()) as u64)
-            .sum();
-        self.core.stats.record(off_rank_bytes);
-        self.deposit(sends);
-        self.barrier();
-        let mut out = Vec::with_capacity(self.core.size);
-        for r in 0..self.core.size {
-            out.push(self.peek::<Vec<Vec<T>>, _>(r, |v| v[self.rank].clone()));
+        let p = self.core.size;
+        assert_eq!(sends.len(), p, "one send buffer per rank");
+        // Move each send vector into its (sender, receiver) mailbox.
+        for (d, v) in sends.into_iter().enumerate() {
+            *self.core.mail[self.rank * p + d].lock() = Some(Box::new(v));
         }
+        self.barrier();
+        // Take ownership of what every sender deposited for this rank:
+        // each vector is moved exactly once end to end.
+        let mut out = Vec::with_capacity(p);
+        let mut received = 0u64;
+        for s in 0..p {
+            let boxed = self.core.mail[s * p + self.rank]
+                .lock()
+                .take()
+                .expect("mailbox must be filled");
+            let v = *boxed.downcast::<Vec<T>>().expect("collective type mismatch");
+            if s != self.rank {
+                received += (v.len() * std::mem::size_of::<T>()) as u64;
+            }
+            out.push(v);
+        }
+        self.record(Collective::Alltoallv, u64::from(p > 1), received);
         self.barrier();
         out
     }
 
+    fn allreduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let esz = std::mem::size_of::<T>() as u64;
+        self.butterfly(Collective::Allreduce, value, esz, combine)
+    }
+
+    fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, buf, |a, b| a + b);
+    }
+
+    fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, buf, f64::max);
+    }
+
+    fn allreduce_min_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, buf, f64::min);
+    }
+
+    fn allreduce_sum_u64(&self, buf: &mut [u64]) {
+        self.butterfly_slice(Collective::Allreduce, buf, |a, b| a.wrapping_add(b));
+    }
+
+    fn exscan_sum_u64(&self, value: u64) -> u64 {
+        // Hillis–Steele distributed scan: at distance `gap`, every rank
+        // passes its inclusive partial down-stream; rank r accumulates
+        // from r−gap. ⌈log₂ p⌉ rounds, 8 received bytes per active round.
+        let p = self.core.size;
+        if p == 1 {
+            self.record(Collective::Exscan, 0, 0);
+            return 0;
+        }
+        let r = self.rank;
+        // Rank r receives in every round whose gap (1, 2, 4, …) is ≤ r.
+        let rounds = usize::BITS as u64 - (p - 1).leading_zeros() as u64;
+        let my_receives = (0..rounds).filter(|&d| (1usize << d) <= r).count() as u64;
+        self.record(Collective::Exscan, rounds, my_receives * 8);
+        let mut exclusive = 0u64;
+        let mut inclusive = value;
+        let mut gap = 1;
+        while gap < p {
+            self.deposit(inclusive);
+            self.barrier();
+            if r >= gap {
+                let theirs = self.peek::<u64, _>(r - gap, |&t| t);
+                exclusive += theirs;
+                inclusive += theirs;
+            }
+            self.barrier();
+            gap <<= 1;
+        }
+        exclusive
+    }
+
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        // Single deposit: the root writes its slot once; the p−1 peers
+        // read it. The root takes its own value back out of the slot after
+        // the read phase, so nothing is cloned on the root path.
+        debug_assert!(root < self.core.size);
+        if self.core.size == 1 {
+            self.record(Collective::Broadcast, 0, 0);
+            return value.expect("root must supply a value");
+        }
+        let received =
+            if self.rank == root { 0 } else { std::mem::size_of::<T>() as u64 };
+        self.record(Collective::Broadcast, 1, received);
+        if self.rank == root {
+            self.deposit(value.expect("root must supply a value"));
+        }
+        self.barrier();
+        let out = if self.rank == root {
+            None
+        } else {
+            Some(self.peek::<T, _>(root, |t| t.clone()))
+        };
+        self.barrier();
+        match out {
+            Some(v) => v,
+            None => {
+                let boxed =
+                    self.core.slots[root].lock().take().expect("root slot present");
+                *boxed.downcast::<T>().expect("collective type mismatch")
+            }
+        }
+    }
+
     fn stats(&self) -> CommStats {
-        self.core.stats.snapshot()
+        CommStats::aggregate(self.core.size, &self.core.stats)
     }
 }
 
@@ -181,6 +408,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::OpStats;
 
     #[test]
     fn allgather_collects_everyone() {
@@ -202,6 +430,44 @@ mod tests {
         });
         for r in results {
             assert_eq!(r, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_over_many_rank_counts() {
+        for p in 1..=9 {
+            let results = run_spmd(p, |c| {
+                let mut mx = vec![c.rank() as f64, -(c.rank() as f64)];
+                c.allreduce_max_f64(&mut mx);
+                let mut mn = vec![c.rank() as f64];
+                c.allreduce_min_f64(&mut mn);
+                (mx, mn)
+            });
+            for (mx, mn) in results {
+                assert_eq!(mx, vec![(p - 1) as f64, 0.0], "p={p}");
+                assert_eq!(mn, vec![0.0], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_identical_bits_on_every_rank() {
+        // The butterfly applies one fixed reduction tree: all ranks must
+        // produce bitwise-identical sums even for non-associative f64 data.
+        for p in [2usize, 3, 5, 6, 7, 8] {
+            let results = run_spmd(p, |c| {
+                let mut buf: Vec<f64> =
+                    (0..17).map(|i| 0.1 * (c.rank() * 31 + i) as f64).collect();
+                c.allreduce_sum_f64(&mut buf);
+                buf
+            });
+            for r in &results[1..] {
+                assert_eq!(
+                    r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    results[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "p={p}: ranks disagree bitwise"
+                );
+            }
         }
     }
 
@@ -242,6 +508,16 @@ mod tests {
     }
 
     #[test]
+    fn exscan_nonpower_of_two() {
+        for p in [3usize, 5, 6, 7] {
+            let results = run_spmd(p, |c| c.exscan_sum_u64(c.rank() as u64 + 1));
+            let expected: Vec<u64> =
+                (0..p as u64).map(|r| (1..=r).sum::<u64>()).collect();
+            assert_eq!(results, expected, "p={p}");
+        }
+    }
+
+    #[test]
     fn broadcast_from_nonzero_root() {
         let results = run_spmd(4, |c| {
             let v = if c.rank() == 2 { Some(vec![7u32, 8]) } else { None };
@@ -259,6 +535,16 @@ mod tests {
     }
 
     #[test]
+    fn generic_allreduce_tuple_minmax() {
+        // The fused (min, max) reduction the quantile searches use.
+        let results = run_spmd(5, |c| {
+            let v = c.rank() as u64 * 10;
+            c.allreduce((v, v), |a, b| (a.0.min(b.0), a.1.max(b.1)))
+        });
+        assert!(results.iter().all(|&mm| mm == (0, 40)));
+    }
+
+    #[test]
     fn repeated_collectives_do_not_deadlock_or_cross() {
         let results = run_spmd(3, |c| {
             let mut acc = 0u64;
@@ -273,15 +559,60 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_bytes() {
+    fn stats_break_down_by_collective() {
         let results = run_spmd(2, |c| {
             let before = c.stats();
             let _ = c.allgather(vec![0u64; 4]);
+            let mut buf = vec![0.0f64; 4];
+            c.allreduce_sum_f64(&mut buf);
+            let _ = c.exscan_sum_u64(1);
+            let _ = c.broadcast(0, if c.rank() == 0 { Some(3u64) } else { None });
+            let _ = c.alltoallv(vec![vec![1u8], vec![2u8]]);
             c.stats().since(&before)
         });
-        // Each rank contributed 32 bytes to one peer.
-        assert!(results[0].bytes >= 32);
-        assert!(results[0].collectives >= 1);
+        let d = results[0];
+        assert_eq!(d.ranks, 2);
+        // allgather: each rank receives the peer's 32 bytes in one round.
+        assert_eq!(d.op(Collective::Allgather), OpStats { ops: 1, rounds: 1, bytes: 64 });
+        // allreduce at p=2: one butterfly round, 32 bytes per rank.
+        assert_eq!(d.op(Collective::Allreduce), OpStats { ops: 1, rounds: 1, bytes: 64 });
+        // exscan at p=2: one round, only rank 1 receives 8 bytes.
+        assert_eq!(d.op(Collective::Exscan), OpStats { ops: 1, rounds: 1, bytes: 8 });
+        // broadcast: only the non-root receives.
+        assert_eq!(d.op(Collective::Broadcast), OpStats { ops: 1, rounds: 1, bytes: 8 });
+        // alltoallv: each rank receives 1 off-rank byte.
+        assert_eq!(d.op(Collective::Alltoallv), OpStats { ops: 1, rounds: 1, bytes: 2 });
+        assert_eq!(d.collectives(), 5);
+    }
+
+    #[test]
+    fn butterfly_allreduce_beats_allgather_volume_by_2x() {
+        // The ISSUE-2 acceptance bound: p = 8, 4096-element f64 buffer —
+        // per-rank received bytes of the native allreduce must be at least
+        // 2× below the allgather-derived baseline.
+        let (p, m) = (8usize, 4096usize);
+        let results = run_spmd(p, |c| {
+            let s0 = c.stats();
+            let mut buf = vec![1.0f64; m];
+            c.allreduce_sum_f64(&mut buf);
+            let s1 = c.stats();
+            let _ = c.allgather(vec![1.0f64; m]);
+            let s2 = c.stats();
+            (s1.since(&s0), s2.since(&s1))
+        });
+        let (reduce, gather) = &results[0];
+        let reduce_per_rank = reduce.op(Collective::Allreduce).bytes / p as u64;
+        let gather_per_rank = gather.op(Collective::Allgather).bytes / p as u64;
+        // Exactly log₂(8) = 3 exchange rounds of 4096·8 bytes each...
+        assert_eq!(reduce.op(Collective::Allreduce).rounds, 3);
+        assert_eq!(reduce_per_rank, 3 * (m as u64) * 8);
+        // ...versus (p−1)·m·8 for the gather-everything baseline.
+        assert_eq!(gather_per_rank, 7 * (m as u64) * 8);
+        assert!(
+            gather_per_rank >= 2 * reduce_per_rank,
+            "allreduce must receive ≥2× fewer bytes than the allgather \
+             baseline ({reduce_per_rank} vs {gather_per_rank})"
+        );
     }
 
     #[test]
@@ -289,9 +620,11 @@ mod tests {
         let results = run_spmd(1, |c| {
             let mut buf = vec![3.0];
             c.allreduce_sum_f64(&mut buf);
-            buf[0]
+            let ex = c.exscan_sum_u64(9);
+            let bc = c.broadcast(0, Some(4u32));
+            (buf[0], ex, bc)
         });
-        assert_eq!(results, vec![3.0]);
+        assert_eq!(results, vec![(3.0, 0, 4)]);
     }
 
     #[test]

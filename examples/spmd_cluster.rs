@@ -9,7 +9,7 @@
 
 use geographer::{partition_spmd, Config};
 use geographer_mesh::delaunay_unit_square;
-use geographer_parcomm::{run_spmd, Comm};
+use geographer_parcomm::{run_spmd, Collective, Comm};
 
 fn main() {
     let mesh = delaunay_unit_square(40_000, 3);
@@ -38,8 +38,24 @@ fn main() {
     println!("  balance iterations:  {}", global_stats.balance_iterations);
     println!("  distance evals:      {}", global_stats.distance_evals);
     println!("  Hamerly skip rate:   {:.1}%", global_stats.skip_rate() * 100.0);
-    println!("\ncommunication: {} collectives, {} payload bytes",
-        comm_stats.collectives, comm_stats.bytes);
+    println!(
+        "\ncommunication: {} collectives, {} rounds, {} bytes received per rank",
+        comm_stats.collectives(),
+        comm_stats.rounds(),
+        comm_stats.bytes_per_rank()
+    );
+    for kind in Collective::ALL {
+        let op = comm_stats.op(kind);
+        if op.ops > 0 {
+            println!(
+                "  {:<10} {:>6} ops  {:>6} rounds  {:>12} bytes",
+                kind.name(),
+                op.ops,
+                op.rounds,
+                op.bytes
+            );
+        }
+    }
 
     // Every rank returns its shard's assignment; verify global balance.
     let mut sizes = vec![0usize; k];

@@ -85,7 +85,7 @@ fn recursive_methods_use_more_collectives() {
     let inst = &dimacs2d_suite(3000, 12)[4]; // delaunay
     let k = 32;
     let cfg = Config::default();
-    let collectives = |tool: Tool| run_tool(tool, &inst.mesh, k, 4, &cfg).comm.collectives;
+    let collectives = |tool: Tool| run_tool(tool, &inst.mesh, k, 4, &cfg).comm.collectives();
     let rcb = collectives(Tool::Rcb);
     let rib = collectives(Tool::Rib);
     let mj = collectives(Tool::MultiJagged);

@@ -1,18 +1,26 @@
 //! Offline shim for the `rayon` crate, implementing the subset this
-//! workspace uses — `slice.par_iter().map(f).collect::<Vec<_>>()` — with
-//! real data parallelism over `std::thread::scope`.
+//! workspace uses — `slice.par_iter().map(f).collect::<Vec<_>>()` and the
+//! allocation-reusing `collect_into_vec(&mut out)` — with real data
+//! parallelism over `std::thread::scope`.
 //!
 //! The container that builds this repo has no crates.io access, so the real
 //! crate cannot be fetched. Instead of a work-stealing pool, the shim
 //! splits the input slice into one contiguous chunk per available core,
-//! maps each chunk on its own scoped thread, and concatenates the results
-//! in order. For the workspace's two call sites (the k-means assignment
-//! loop and per-block diameter bounds) that chunking is exactly the right
-//! shape: uniform, memory-bound batch maps.
+//! maps each chunk on its own scoped thread, and assembles the results in
+//! order. For the workspace's call sites (the k-means assignment loop and
+//! per-block diameter bounds) that chunking is exactly the right shape:
+//! uniform, memory-bound batch maps.
+//!
+//! [`ParMap::collect_into_vec`] mirrors real rayon's
+//! `IndexedParallelIterator::collect_into_vec`: workers write directly
+//! into disjoint chunks of the target vector's spare capacity, so a
+//! suitably pre-sized buffer is refilled with **zero allocations** — the
+//! hot-loop contract the k-means assignment kernel relies on.
 //!
 //! Order and output are identical to the sequential path by construction,
 //! which `geographer::kmeans`'s `rayon_path_matches_serial` test checks.
 
+use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
 
 /// Number of worker threads used by [`ParMap::collect`]: the machine's
@@ -90,6 +98,43 @@ where
         self.run().into_iter().collect()
     }
 
+    /// Apply the map across all cores, writing the results in input order
+    /// into `target`, whose allocation is reused (real rayon's
+    /// `collect_into_vec`). `target` is truncated and refilled; when its
+    /// capacity already covers the input length no allocation happens —
+    /// workers write straight into disjoint chunks of the spare capacity,
+    /// with no per-chunk intermediate buffers.
+    ///
+    /// If the mapping closure panics, the panic propagates and `target` is
+    /// left empty (already-written results are leaked, never dropped
+    /// twice).
+    pub fn collect_into_vec(self, target: &mut Vec<R>) {
+        let n = self.slice.len();
+        target.clear();
+        target.reserve(n);
+        let spare = &mut target.spare_capacity_mut()[..n];
+        let threads = current_num_threads().min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n < 2 {
+            for (slot, x) in spare.iter_mut().zip(self.slice) {
+                slot.write(f(x));
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (inp, out) in self.slice.chunks(chunk).zip(spare.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        fill_chunk(inp, out, f);
+                    });
+                }
+            });
+        }
+        // SAFETY: every one of the first `n` spare slots was written above
+        // (the chunks exactly tile `spare`, and the scope joined all
+        // workers — a worker panic propagates before reaching here).
+        unsafe { target.set_len(n) };
+    }
+
     fn run(self) -> Vec<R> {
         let n = self.slice.len();
         let threads = current_num_threads().min(n.max(1));
@@ -117,6 +162,16 @@ where
     }
 }
 
+/// Write `f(inp[i])` into `out[i]` for one contiguous chunk.
+fn fill_chunk<'a, T, R, F>(inp: &'a [T], out: &mut [MaybeUninit<R>], f: &F)
+where
+    F: Fn(&'a T) -> R,
+{
+    for (slot, x) in out.iter_mut().zip(inp) {
+        slot.write(f(x));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -137,5 +192,45 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn collect_into_vec_matches_collect() {
+        let v: Vec<u64> = (0..9_999).collect();
+        let mut out = Vec::new();
+        v.par_iter().map(|x| x * 7).collect_into_vec(&mut out);
+        let seq: Vec<u64> = v.iter().map(|x| x * 7).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_the_allocation() {
+        let v: Vec<u64> = (0..5_000).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(v.len());
+        let ptr_before = out.as_ptr();
+        for round in 0..3u64 {
+            v.par_iter().map(|x| x + round).collect_into_vec(&mut out);
+            assert_eq!(out.len(), v.len());
+            assert_eq!(out[17], 17 + round);
+            assert_eq!(
+                out.as_ptr(),
+                ptr_before,
+                "a pre-sized buffer must never be reallocated"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_into_vec_empty_and_heap_elements() {
+        let empty: Vec<u32> = Vec::new();
+        let mut out: Vec<u32> = vec![1, 2, 3];
+        empty.par_iter().map(|x| *x).collect_into_vec(&mut out);
+        assert!(out.is_empty());
+        // Non-Copy results must be moved in and dropped exactly once.
+        let v: Vec<u32> = (0..500).collect();
+        let mut strings: Vec<String> = Vec::new();
+        v.par_iter().map(|x| x.to_string()).collect_into_vec(&mut strings);
+        assert_eq!(strings.len(), 500);
+        assert_eq!(strings[42], "42");
     }
 }
