@@ -3,11 +3,13 @@
 
 use std::time::Instant;
 
-use geographer::Config;
+use geographer::{repartition_spmd, Config, PreviousPartition};
 use geographer_baselines::Baseline;
 use geographer_geometry::Point;
-use geographer_graph::{evaluate_partition, PartitionMetrics};
-use geographer_mesh::Mesh;
+use geographer_graph::{
+    evaluate_partition, imbalance, relabel_free_migration, PartitionMetrics,
+};
+use geographer_mesh::{DynamicWorkload, Mesh};
 use geographer_parcomm::{run_spmd, Comm, CommStats};
 use geographer_spmv::spmv_comm_time;
 
@@ -109,6 +111,137 @@ pub fn run_tool<const D: usize>(
     RunOutcome { assignment, wall_seconds, comm, ranks: p }
 }
 
+/// How a tool is restarted on each step of a time-stepped workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepartitionMode {
+    /// Re-partition from scratch every step (what every tool can do).
+    Cold,
+    /// Warm-start from the previous step's solution. Only Geographer has
+    /// reusable state (centers + influences); for the stateless baselines
+    /// this silently degrades to [`RepartitionMode::Cold`] — which *is*
+    /// the comparison the paper's reuse argument makes.
+    Warm,
+}
+
+impl RepartitionMode {
+    /// Display name for benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepartitionMode::Cold => "cold",
+            RepartitionMode::Warm => "warm",
+        }
+    }
+}
+
+/// Per-step outcome of [`run_tool_repartition`].
+#[derive(Debug, Clone)]
+pub struct RepartitionStep {
+    /// Workload step index (0 = bootstrap).
+    pub step: usize,
+    /// Wall-clock seconds of this step's (serialized SPMD) solve.
+    pub wall_seconds: f64,
+    /// Weighted imbalance of this step's assignment.
+    pub imbalance: f64,
+    /// Edge cut on the workload's (fixed) topology.
+    pub edge_cut: u64,
+    /// Relabel-free migrated-point fraction vs the previous step's
+    /// assignment (0 at step 0).
+    pub migrated_point_fraction: f64,
+    /// Relabel-free migrated-weight fraction vs the previous step (0 at
+    /// step 0), under this step's weights.
+    pub migrated_weight_fraction: f64,
+}
+
+fn edge_cut_of(g: &geographer_graph::CsrGraph, asg: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.n() as u32 {
+        for &u in g.neighbors(v) {
+            if v < u && asg[v as usize] != asg[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Drive `tool` over `steps` steps of a dynamic workload with `p` SPMD
+/// ranks, repartitioning at every step in the given mode, and measure the
+/// migration between consecutive assignments (relabel-free, so cold runs
+/// with arbitrary block numbering are compared fairly).
+///
+/// Step 0 is always a cold bootstrap; in [`RepartitionMode::Warm`] every
+/// later step feeds the previous Geographer state into
+/// [`geographer::repartition_spmd`] instead of re-running the full
+/// pipeline.
+pub fn run_tool_repartition(
+    tool: Tool,
+    workload: &DynamicWorkload,
+    k: usize,
+    p: usize,
+    cfg: &Config,
+    steps: usize,
+    mode: RepartitionMode,
+) -> Vec<RepartitionStep> {
+    assert!(p >= 1 && k >= 1 && steps >= 1);
+    let n = workload.base.n();
+    let chunk_bounds: Vec<(usize, usize)> =
+        (0..p).map(|r| (r * n / p, (r + 1) * n / p)).collect();
+    let warm = mode == RepartitionMode::Warm && tool == Tool::Geographer;
+
+    let mut out = Vec::with_capacity(steps);
+    let mut prev_state: Option<PreviousPartition<2>> = None;
+    let mut prev_assignment: Option<Vec<u32>> = None;
+    for step in 0..steps {
+        let mesh = workload.mesh_at(step);
+        let t = Instant::now();
+        let (assignment, state) = if tool == Tool::Geographer {
+            // Cold bootstrap or warm continuation — same SPMD harness,
+            // different solve call.
+            let warm_prev = if warm { prev_state.as_ref() } else { None };
+            let results = run_spmd(p, |comm| {
+                let (lo, hi) = chunk_bounds[comm.rank()];
+                let (points, weights) = (&mesh.points[lo..hi], &mesh.weights[lo..hi]);
+                let res = match warm_prev {
+                    Some(prev) => repartition_spmd(&comm, points, weights, prev, k, cfg),
+                    None => geographer::partition_spmd(&comm, points, weights, k, cfg),
+                };
+                let state = res.previous();
+                (res.assignment, state)
+            });
+            let state = warm.then(|| results[0].1.clone());
+            let asg: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
+            (asg, state)
+        } else {
+            let results = run_spmd(p, |comm| {
+                let (lo, hi) = chunk_bounds[comm.rank()];
+                tool.partition_spmd(&comm, &mesh.points[lo..hi], &mesh.weights[lo..hi], k, cfg)
+            });
+            (results.into_iter().flatten().collect(), None)
+        };
+        let wall_seconds = t.elapsed().as_secs_f64();
+        assert_eq!(assignment.len(), n);
+
+        let (mig_pts, mig_w) = match &prev_assignment {
+            Some(prev) => {
+                let m = relabel_free_migration(prev, &assignment, &mesh.weights, k);
+                (m.point_fraction, m.weight_fraction)
+            }
+            None => (0.0, 0.0),
+        };
+        out.push(RepartitionStep {
+            step,
+            wall_seconds,
+            imbalance: imbalance(&assignment, &mesh.weights, k),
+            edge_cut: edge_cut_of(&mesh.graph, &assignment),
+            migrated_point_fraction: mig_pts,
+            migrated_weight_fraction: mig_w,
+        });
+        prev_state = state;
+        prev_assignment = Some(assignment);
+    }
+    out
+}
+
 /// One row of the paper's Tables 1–2: tool, time, cut, comm volumes,
 /// diameter, SpMV communication time.
 #[derive(Debug, Clone)]
@@ -168,6 +301,31 @@ mod tests {
             assert!(row.metrics.edge_cut > 0, "{}: cut can't be zero", tool.name());
             assert!(row.metrics.imbalance <= 0.06, "{}: imbalance", tool.name());
         }
+    }
+
+    #[test]
+    fn repartition_driver_runs_warm_and_cold() {
+        use geographer_mesh::{DynamicWorkload, Scenario};
+        let base = delaunay_unit_square(900, 5);
+        let wl = DynamicWorkload::new(
+            base,
+            Scenario::ClusterDrift { clusters: 3, speed: 0.02 },
+            11,
+        );
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        for mode in [RepartitionMode::Cold, RepartitionMode::Warm] {
+            let steps = run_tool_repartition(Tool::Geographer, &wl, 4, 2, &cfg, 3, mode);
+            assert_eq!(steps.len(), 3);
+            assert_eq!(steps[0].migrated_point_fraction, 0.0, "step 0 has no predecessor");
+            for s in &steps {
+                assert!(s.imbalance <= 0.03 + 1e-6, "{}: step {} imbalance", mode.name(), s.step);
+                assert!(s.edge_cut > 0);
+                assert!((0.0..=1.0).contains(&s.migrated_point_fraction));
+            }
+        }
+        // Baselines run in warm mode too (degrading to cold re-runs).
+        let steps = run_tool_repartition(Tool::Rcb, &wl, 4, 2, &cfg, 2, RepartitionMode::Warm);
+        assert_eq!(steps.len(), 2);
     }
 
     #[test]

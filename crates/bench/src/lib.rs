@@ -11,7 +11,10 @@ pub mod driver;
 pub mod table;
 
 pub use cost::CostModel;
-pub use driver::{evaluate_run, run_tool, RunOutcome, Tool, ToolRow};
+pub use driver::{
+    evaluate_run, run_tool, run_tool_repartition, RepartitionMode, RepartitionStep,
+    RunOutcome, Tool, ToolRow,
+};
 pub use table::TextTable;
 
 /// Global instance-size multiplier, read from `GEO_SCALE` (default 1.0).

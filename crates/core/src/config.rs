@@ -87,22 +87,31 @@ impl Config {
     /// Sanity-check parameter ranges.
     ///
     /// # Panics
-    /// On out-of-range parameters.
+    /// On out-of-range parameters, with a `geographer config:`-prefixed
+    /// message. Every parameter/argument panic of the stack goes through
+    /// this module so the texts stay consistent (and message-tested, see
+    /// the `error_messages_are_pinned` test below).
     pub fn validate(&self) {
-        assert!(self.epsilon >= 0.0, "epsilon must be non-negative");
-        assert!(self.max_iterations >= 1);
-        assert!(self.max_balance_iterations >= 1);
-        assert!(self.delta_threshold >= 0.0);
+        assert!(self.epsilon >= 0.0, "geographer config: epsilon must be non-negative");
+        assert!(self.max_iterations >= 1, "geographer config: max_iterations must be at least 1");
+        assert!(
+            self.max_balance_iterations >= 1,
+            "geographer config: max_balance_iterations must be at least 1"
+        );
+        assert!(
+            self.delta_threshold >= 0.0,
+            "geographer config: delta_threshold must be non-negative"
+        );
         assert!(
             self.influence_change_cap > 0.0 && self.influence_change_cap < 1.0,
-            "influence cap must be in (0,1)"
+            "geographer config: influence_change_cap must be in (0,1)"
         );
-        assert!(self.initial_sample >= 1);
+        assert!(self.initial_sample >= 1, "geographer config: initial_sample must be at least 1");
         if let Some(f) = &self.target_fractions {
-            assert!(!f.is_empty(), "target_fractions must not be empty");
+            assert!(!f.is_empty(), "geographer config: target_fractions must not be empty");
             assert!(
                 f.iter().all(|x| x.is_finite() && *x > 0.0),
-                "target fractions must be positive"
+                "geographer config: target_fractions must be positive"
             );
         }
     }
@@ -115,12 +124,36 @@ impl Config {
         match &self.target_fractions {
             None => vec![1.0 / k as f64; k],
             Some(f) => {
-                assert_eq!(f.len(), k, "target_fractions length must equal k");
+                assert!(
+                    f.len() == k,
+                    "geographer config: target_fractions length must equal k \
+                     (got {}, k = {k})",
+                    f.len()
+                );
                 let sum: f64 = f.iter().sum();
                 f.iter().map(|x| x / sum).collect()
             }
         }
     }
+}
+
+/// Validate the block count against the global point count — the *one*
+/// place this check lives. Every entry point that knows the global `n`
+/// (cold pipeline, warm repartitioning, shared-memory wrappers) calls this
+/// instead of rolling its own assert, so the panic message is identical no
+/// matter which layer catches the bad `k` first.
+///
+/// `global_n = 0` with `k = 1` is allowed (the degenerate empty input that
+/// [`crate::pipeline::global_bbox`] maps to a unit box).
+///
+/// # Panics
+/// If `k` is zero or exceeds the global point count.
+pub fn validate_k(k: usize, global_n: u64) {
+    assert!(k >= 1, "geographer config: k must be at least 1");
+    assert!(
+        k as u64 <= global_n.max(1),
+        "geographer config: k = {k} exceeds global point count n = {global_n}"
+    );
 }
 
 #[cfg(test)]
@@ -148,5 +181,59 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn negative_epsilon_rejected() {
         Config { epsilon: -0.1, ..Config::default() }.validate();
+    }
+
+    #[test]
+    fn validate_k_accepts_sane_inputs() {
+        validate_k(1, 0); // empty input, one block: the documented degenerate case
+        validate_k(4, 4);
+        validate_k(8, 1_000_000);
+    }
+
+    /// Extract the panic message of `f` as a string (assert! with a literal
+    /// panics with `&'static str`, formatted asserts with `String`).
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("closure must panic");
+        err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+            (*err.downcast_ref::<&'static str>().expect("panic payload must be a string"))
+                .to_owned()
+        })
+    }
+
+    /// The satellite contract of PR 3: one consistent, message-tested error
+    /// path. Pinning the exact texts here keeps every layer (config
+    /// validation, the pipeline's k check, the warm repartitioning path)
+    /// from drifting back into three different wordings.
+    #[test]
+    fn error_messages_are_pinned() {
+        assert_eq!(
+            panic_message(|| validate_k(0, 10)),
+            "geographer config: k must be at least 1"
+        );
+        assert_eq!(
+            panic_message(|| validate_k(11, 10)),
+            "geographer config: k = 11 exceeds global point count n = 10"
+        );
+        assert_eq!(
+            panic_message(|| Config { epsilon: -0.1, ..Config::default() }.validate()),
+            "geographer config: epsilon must be non-negative"
+        );
+        assert_eq!(
+            panic_message(|| Config { max_iterations: 0, ..Config::default() }.validate()),
+            "geographer config: max_iterations must be at least 1"
+        );
+        assert_eq!(
+            panic_message(|| {
+                Config { influence_change_cap: 1.5, ..Config::default() }.validate()
+            }),
+            "geographer config: influence_change_cap must be in (0,1)"
+        );
+        assert_eq!(
+            panic_message(|| {
+                let _ = Config { target_fractions: Some(vec![0.5, 0.5]), ..Config::default() }
+                    .fractions(3);
+            }),
+            "geographer config: target_fractions length must equal k (got 2, k = 3)"
+        );
     }
 }

@@ -357,9 +357,38 @@ pub fn balanced_kmeans<const D: usize, C: Comm>(
     initial_centers: Vec<Point<D>>,
     cfg: &Config,
 ) -> KMeansOutput<D> {
+    balanced_kmeans_warm(comm, points, weights, k, initial_centers, vec![1.0; k], cfg)
+}
+
+/// Warm-started balanced k-means: resume from the centers *and* influence
+/// values of a previous solve instead of the neutral `I(c) = 1` start.
+///
+/// This is the solver behind [`crate::repartition_spmd`] (DESIGN.md §5):
+/// on a converged previous solution, `(centers, influence)` exactly
+/// reproduce the previous assignment, so an unchanged point set re-balances
+/// in one assignment pass with zero migration, and a slightly drifted one
+/// converges in a handful of iterations instead of re-running the whole
+/// SFC bootstrap.
+///
+/// Same collective contract as [`balanced_kmeans`]; `initial_influence`
+/// must be replicated, length `k`, and strictly positive.
+pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
+    comm: &C,
+    points: &[Point<D>],
+    weights: &[f64],
+    k: usize,
+    initial_centers: Vec<Point<D>>,
+    initial_influence: Vec<f64>,
+    cfg: &Config,
+) -> KMeansOutput<D> {
     assert_eq!(points.len(), weights.len());
     assert_eq!(initial_centers.len(), k, "need exactly k initial centers");
-    assert!(k >= 1);
+    assert_eq!(initial_influence.len(), k, "need exactly k initial influences");
+    assert!(
+        initial_influence.iter().all(|i| i.is_finite() && *i > 0.0),
+        "initial influences must be positive and finite"
+    );
+    assert!(k >= 1, "geographer config: k must be at least 1");
     cfg.validate();
     let n_local = points.len();
 
@@ -379,7 +408,7 @@ pub fn balanced_kmeans<const D: usize, C: Comm>(
         k,
         cfg,
         centers: initial_centers,
-        influence: vec![1.0; k],
+        influence: initial_influence,
         assignment: vec![0u32; n_local],
         ub: vec![f64::INFINITY; n_local],
         lb: vec![0.0; n_local],
@@ -688,6 +717,48 @@ mod tests {
         let w = vec![1.0; 100];
         let cfg = Config { target_fractions: Some(vec![0.5, 0.5]), ..Config::default() };
         let _ = balanced_kmeans(&SelfComm, &pts, &w, 3, sfc_like_centers(&pts, 3), &cfg);
+    }
+
+    #[test]
+    fn warm_restart_of_converged_state_is_a_fixed_point() {
+        // Re-running the solver from a converged (centers, influence) pair
+        // on the same points must reproduce the assignment exactly and stop
+        // after a single movement iteration — the contract the whole
+        // repartitioning subsystem rests on (DESIGN.md §5).
+        let pts = uniform_points(1500, 30);
+        let w = vec![1.0; 1500];
+        let k = 6;
+        let cfg = Config { sampling_init: false, max_iterations: 200, ..Config::default() };
+        let cold = balanced_kmeans(&SelfComm, &pts, &w, k, sfc_like_centers(&pts, k), &cfg);
+        assert!(cold.stats.converged);
+        let warm = balanced_kmeans_warm(
+            &SelfComm,
+            &pts,
+            &w,
+            k,
+            cold.centers.clone(),
+            cold.influence.clone(),
+            &cfg,
+        );
+        assert_eq!(warm.assignment, cold.assignment);
+        assert_eq!(warm.stats.movement_iterations, 1);
+        assert!(warm.stats.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial influences must be positive")]
+    fn warm_restart_rejects_non_positive_influence() {
+        let pts = uniform_points(100, 31);
+        let w = vec![1.0; 100];
+        let _ = balanced_kmeans_warm(
+            &SelfComm,
+            &pts,
+            &w,
+            2,
+            sfc_like_centers(&pts, 2),
+            vec![1.0, 0.0],
+            &Config::default(),
+        );
     }
 
     #[test]

@@ -58,6 +58,33 @@
 //! });
 //! assert_eq!(results.iter().map(Vec::len).sum::<usize>(), 1000);
 //! ```
+//!
+//! ## Repartitioning a drifting point set (warm start)
+//!
+//! For time-stepped workloads, feed the previous solve's state back in:
+//! [`repartition`] / [`repartition_spmd`] skip the SFC bootstrap and
+//! warm-start from the previous centers and influences, so most points keep
+//! their block (low migration) and convergence takes a handful of
+//! iterations (DESIGN.md §5):
+//!
+//! ```
+//! use geographer::{partition, repartition, Config};
+//! use geographer_geometry::{Point, WeightedPoints};
+//!
+//! let mut rng = geographer_geometry::SplitMix64::new(7);
+//! let pts: Vec<Point<2>> =
+//!     (0..600).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+//! let cfg = Config { sampling_init: false, ..Config::default() };
+//! let first = partition(&WeightedPoints::unweighted(pts.clone()), 4, &cfg);
+//!
+//! // The points drift a little between time steps…
+//! let drifted: Vec<Point<2>> =
+//!     pts.iter().map(|p| Point::new([p[0] + 0.01, p[1]])).collect();
+//! let next =
+//!     repartition(&WeightedPoints::unweighted(drifted), &first.previous(), 4, &cfg);
+//! let kept = next.assignment.iter().zip(&first.assignment).filter(|(a, b)| a == b).count();
+//! assert!(kept >= 540, "warm repartitioning keeps most points in place");
+//! ```
 
 // Fixed-dimension coordinate loops index several parallel arrays at once;
 // iterator-zip rewrites of those loops are less readable, not more.
@@ -69,9 +96,11 @@ pub mod influence;
 pub mod kdtree;
 pub mod kmeans;
 pub mod pipeline;
+pub mod repartition;
 
-pub use config::Config;
-pub use kmeans::{balanced_kmeans, KMeansOutput, KMeansStats};
+pub use config::{validate_k, Config};
+pub use kmeans::{balanced_kmeans, balanced_kmeans_warm, KMeansOutput, KMeansStats};
 pub use pipeline::{
     global_bbox, partition, partition_spmd, PhaseComm, PipelineResult, PipelineTimings,
 };
+pub use repartition::{repartition, repartition_spmd, PreviousPartition};

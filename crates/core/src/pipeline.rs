@@ -73,6 +73,10 @@ pub struct PipelineResult<const D: usize> {
     pub assignment: Vec<u32>,
     /// Final cluster centers (replicated across ranks).
     pub centers: Vec<Point<D>>,
+    /// Final influence values (replicated across ranks). Together with
+    /// `centers` this is the reusable state a later
+    /// [`crate::repartition_spmd`] warm-starts from.
+    pub influence: Vec<f64>,
     /// Per-phase timings.
     pub timings: PipelineTimings,
     /// k-means work counters for this rank.
@@ -81,6 +85,17 @@ pub struct PipelineResult<const D: usize> {
     pub comm_stats: CommStats,
     /// The same counters broken down by pipeline phase.
     pub phase_comm: PhaseComm,
+}
+
+impl<const D: usize> PipelineResult<D> {
+    /// Snapshot the reusable solver state for a later warm-started
+    /// [`crate::repartition_spmd`] call (DESIGN.md §5).
+    pub fn previous(&self) -> crate::repartition::PreviousPartition<D> {
+        crate::repartition::PreviousPartition {
+            centers: self.centers.clone(),
+            influence: self.influence.clone(),
+        }
+    }
 }
 
 /// Global bounding box of a distributed point set — a single min-reduce:
@@ -127,7 +142,7 @@ struct Tagged<const D: usize> {
 /// pair makes the snapshot a consistent cut: after the first barrier every
 /// rank has finished the previous phase, and no rank proceeds past the
 /// second until everyone has read.
-fn phase_snapshot<C: Comm>(comm: &C) -> CommStats {
+pub(crate) fn phase_snapshot<C: Comm>(comm: &C) -> CommStats {
     comm.barrier();
     let s = comm.stats();
     comm.barrier();
@@ -158,7 +173,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let local_n = points.len() as u64;
     let id_offset = comm.exscan_sum_u64(local_n);
     let global_n = comm.allreduce(local_n, |a, b| a + b);
-    assert!(k as u64 <= global_n.max(1), "k exceeds global point count");
+    crate::config::validate_k(k, global_n);
     let tagged: Vec<Tagged<D>> = points
         .iter()
         .zip(weights)
@@ -200,6 +215,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     PipelineResult {
         assignment,
         centers: out.centers,
+        influence: out.influence,
         timings: PipelineTimings { sfc_index, redistribute, kmeans, writeback },
         stats: out.stats,
         comm_stats: comm_after.since(&comm_before),
@@ -418,6 +434,13 @@ mod tests {
         assert!(sizes.iter().all(|&s| s > 0));
         let max = *sizes.iter().max().unwrap() as f64;
         assert!(max / (1500.0 / 6.0) - 1.0 <= 0.03 + 1e-9, "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "geographer config: k = 13 exceeds global point count n = 12")]
+    fn k_above_n_panics_with_the_canonical_message() {
+        let wp = uniform(12, 6);
+        let _ = partition(&wp, 13, &Config::default());
     }
 
     #[test]

@@ -12,10 +12,12 @@
 
 pub mod csr;
 pub mod metrics;
+pub mod migration;
 pub mod traversal;
 
 pub use csr::CsrGraph;
 pub use metrics::{
     evaluate_partition, geometric_mean, harmonic_mean_diameter, imbalance, PartitionMetrics,
 };
+pub use migration::{migration, relabel_free_migration, MigrationMetrics};
 pub use traversal::{bfs_distances, connected_components, diameter_lower_bound};

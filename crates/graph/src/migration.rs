@@ -1,0 +1,295 @@
+//! Migration metrics between two assignments of the same vertex set —
+//! the stability axis of a repartitioner (DESIGN.md §5).
+//!
+//! When a time-stepped workload is repartitioned, every vertex whose block
+//! changes must migrate its data to another process: the *migrated-point
+//! fraction* counts them, the *migrated-weight volume* weighs them. Two
+//! flavors exist:
+//!
+//! * [`migration`] compares labels verbatim — correct when both
+//!   assignments come from the same warm-started solver, whose block ids
+//!   are stable across steps;
+//! * [`relabel_free_migration`] first matches the blocks of the two
+//!   assignments by maximum overlap (an optimal bijection via the
+//!   Hungarian algorithm) and counts only what *no* relabeling could
+//!   save — the fair way to compare independent cold runs, whose block
+//!   numbering is arbitrary. It is symmetric in its two arguments, because
+//!   swapping them transposes the overlap matrix and an optimal assignment
+//!   of a matrix and its transpose have equal value.
+
+/// Migration between two assignments of the same vertex set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationMetrics {
+    /// Number of vertices whose block changed.
+    pub migrated_points: u64,
+    /// `migrated_points / n` (0 for an empty vertex set).
+    pub point_fraction: f64,
+    /// Total weight of the vertices whose block changed.
+    pub migrated_weight: f64,
+    /// `migrated_weight / total_weight` (0 for zero total weight).
+    pub weight_fraction: f64,
+}
+
+/// Label-verbatim migration: vertex `v` migrates iff `prev[v] != next[v]`.
+pub fn migration(prev: &[u32], next: &[u32], weights: &[f64]) -> MigrationMetrics {
+    assert_eq!(prev.len(), next.len());
+    assert_eq!(prev.len(), weights.len());
+    let mut migrated_points = 0u64;
+    let mut migrated_weight = 0.0f64;
+    let mut total_weight = 0.0f64;
+    for ((&a, &b), &w) in prev.iter().zip(next).zip(weights) {
+        total_weight += w;
+        if a != b {
+            migrated_points += 1;
+            migrated_weight += w;
+        }
+    }
+    let n = prev.len();
+    MigrationMetrics {
+        migrated_points,
+        point_fraction: if n == 0 { 0.0 } else { migrated_points as f64 / n as f64 },
+        migrated_weight,
+        weight_fraction: if total_weight > 0.0 { migrated_weight / total_weight } else { 0.0 },
+    }
+}
+
+/// Relabel-free migration: the minimum migration over all bijective
+/// relabelings of `next`'s blocks onto `prev`'s. Point and weight overlap
+/// are each maximized by their own optimal matching (so each reported
+/// number is the true minimum for its measure).
+///
+/// Symmetric: `relabel_free_migration(a, b, w, k)` equals
+/// `relabel_free_migration(b, a, w, k)` (up to float summation order in
+/// the weight term). Cost is `O(n + k³)`.
+pub fn relabel_free_migration(
+    prev: &[u32],
+    next: &[u32],
+    weights: &[f64],
+    k: usize,
+) -> MigrationMetrics {
+    assert_eq!(prev.len(), next.len());
+    assert_eq!(prev.len(), weights.len());
+    assert!(k > 0);
+    let n = prev.len();
+    // Overlap matrices: counts[a*k + b] = #vertices with prev = a, next = b,
+    // and the same with weights.
+    let mut counts = vec![0.0f64; k * k];
+    let mut weight_overlap = vec![0.0f64; k * k];
+    let mut total_weight = 0.0f64;
+    for ((&a, &b), &w) in prev.iter().zip(next).zip(weights) {
+        assert!((a as usize) < k && (b as usize) < k, "block id out of range");
+        counts[a as usize * k + b as usize] += 1.0;
+        weight_overlap[a as usize * k + b as usize] += w;
+        total_weight += w;
+    }
+    let kept_points = max_assignment_score(&counts, k);
+    let kept_weight = max_assignment_score(&weight_overlap, k);
+    let migrated_points = (n as f64 - kept_points).round().max(0.0) as u64;
+    let migrated_weight = (total_weight - kept_weight).max(0.0);
+    MigrationMetrics {
+        migrated_points,
+        point_fraction: if n == 0 { 0.0 } else { migrated_points as f64 / n as f64 },
+        migrated_weight,
+        weight_fraction: if total_weight > 0.0 { migrated_weight / total_weight } else { 0.0 },
+    }
+}
+
+/// Maximum-score perfect assignment on a k×k score matrix (row-major):
+/// the Hungarian algorithm with potentials, O(k³). Returns the value of
+/// the best bijection rows → columns.
+fn max_assignment_score(score: &[f64], k: usize) -> f64 {
+    debug_assert_eq!(score.len(), k * k);
+    // Classic shortest-augmenting-path formulation on cost = −score, with
+    // 1-based helper arrays (index 0 is the virtual unmatched column).
+    let n = k;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut matched_row = vec![0usize; n + 1]; // matched_row[col] = row (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = -score[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    (1..=n).map(|j| score[(matched_row[j] - 1) * n + (j - 1)]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_assignments_migrate_nothing() {
+        let a = vec![0u32, 1, 2, 1, 0];
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = migration(&a, &a, &w);
+        assert_eq!(m.migrated_points, 0);
+        assert_eq!(m.migrated_weight, 0.0);
+        let r = relabel_free_migration(&a, &a, &w, 3);
+        assert_eq!(r.migrated_points, 0);
+        assert!(r.migrated_weight.abs() < 1e-12);
+    }
+
+    #[test]
+    fn verbatim_counts_every_flip() {
+        let prev = vec![0u32, 0, 1, 1];
+        let next = vec![0u32, 1, 1, 0];
+        let w = vec![1.0, 2.0, 1.0, 4.0];
+        let m = migration(&prev, &next, &w);
+        assert_eq!(m.migrated_points, 2);
+        assert!((m.point_fraction - 0.5).abs() < 1e-12);
+        assert!((m.migrated_weight - 6.0).abs() < 1e-12);
+        assert!((m.weight_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_relabeling_is_free() {
+        // next = prev with blocks renamed by a permutation: relabel-free
+        // migration must be exactly zero even though no label matches.
+        let prev = vec![0u32, 1, 2, 0, 1, 2, 2];
+        let perm = [2u32, 0, 1];
+        let next: Vec<u32> = prev.iter().map(|&b| perm[b as usize]).collect();
+        let w = vec![1.5; 7];
+        assert_eq!(migration(&prev, &next, &w).migrated_points, 7);
+        let r = relabel_free_migration(&prev, &next, &w, 3);
+        assert_eq!(r.migrated_points, 0);
+        assert!(r.migrated_weight.abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabel_free_finds_the_optimal_matching() {
+        // prev blocks {0:4 pts, 1:2 pts}; next splits prev-0 into 1 and
+        // keeps 2 of them: best bijection is 0→1? Work it out:
+        // prev: 0 0 0 0 1 1
+        // next: 1 1 0 0 0 1
+        // overlap: O[0][0]=2, O[0][1]=2, O[1][0]=1, O[1][1]=1.
+        // Both bijections keep 3 points → 3 migrate.
+        let prev = vec![0u32, 0, 0, 0, 1, 1];
+        let next = vec![1u32, 1, 0, 0, 0, 1];
+        let r = relabel_free_migration(&prev, &next, &[1.0; 6], 2);
+        assert_eq!(r.migrated_points, 3);
+    }
+
+    #[test]
+    fn counts_and_weights_each_get_their_own_optimum() {
+        // Overlap counts: O[0][0]=2, O[0][1]=1, O[1][0]=1, O[1][1]=0 —
+        // identity keeps 2 points. Weight overlap: W[0][0]=2, W[0][1]=50,
+        // W[1][0]=30, W[1][1]=0 — the *swap* keeps weight 80 ≫ 2. The two
+        // metrics must report their respective optima, not share one
+        // matching.
+        let prev = vec![0u32, 0, 0, 1];
+        let next = vec![0u32, 0, 1, 0];
+        let w = vec![1.0, 1.0, 50.0, 30.0];
+        let r = relabel_free_migration(&prev, &next, &w, 2);
+        assert_eq!(r.migrated_points, 2, "count-optimal matching is the identity");
+        assert!((r.migrated_weight - 2.0).abs() < 1e-12, "weight-optimal is the swap");
+    }
+
+    #[test]
+    fn symmetry_on_a_handmade_case() {
+        let prev = vec![0u32, 1, 2, 2, 1, 0, 2, 1];
+        let next = vec![2u32, 1, 0, 2, 0, 0, 1, 1];
+        let w = vec![1.0, 0.5, 2.0, 1.5, 3.0, 1.0, 0.25, 2.5];
+        let ab = relabel_free_migration(&prev, &next, &w, 3);
+        let ba = relabel_free_migration(&next, &prev, &w, 3);
+        assert_eq!(ab.migrated_points, ba.migrated_points);
+        assert!((ab.migrated_weight - ba.migrated_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        // k larger than the ids actually used.
+        let prev = vec![0u32, 0, 1];
+        let next = vec![1u32, 1, 0];
+        let r = relabel_free_migration(&prev, &next, &[1.0; 3], 5);
+        assert_eq!(r.migrated_points, 0, "swap is a pure relabeling");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let m = migration(&[], &[], &[]);
+        assert_eq!(m.migrated_points, 0);
+        assert_eq!(m.point_fraction, 0.0);
+        let r = relabel_free_migration(&[], &[], &[], 2);
+        assert_eq!(r.point_fraction, 0.0);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force_on_random_matrices() {
+        // Cross-check the O(k³) assignment against k! enumeration.
+        let mut rng = geographer_geometry::SplitMix64::new(77);
+        for k in 1usize..=5 {
+            for _ in 0..40 {
+                let score: Vec<f64> =
+                    (0..k * k).map(|_| (rng.next_u64() % 1000) as f64).collect();
+                let fast = max_assignment_score(&score, k);
+                let brute = brute_force_max(&score, k);
+                assert!(
+                    (fast - brute).abs() < 1e-9,
+                    "k={k}: hungarian {fast} != brute {brute} for {score:?}"
+                );
+            }
+        }
+    }
+
+    fn brute_force_max(score: &[f64], k: usize) -> f64 {
+        fn rec(score: &[f64], k: usize, row: usize, used: &mut [bool]) -> f64 {
+            if row == k {
+                return 0.0;
+            }
+            let mut best = f64::NEG_INFINITY;
+            for col in 0..k {
+                if !used[col] {
+                    used[col] = true;
+                    let v = score[row * k + col] + rec(score, k, row + 1, used);
+                    used[col] = false;
+                    best = best.max(v);
+                }
+            }
+            best
+        }
+        rec(score, k, 0, &mut vec![false; k])
+    }
+}

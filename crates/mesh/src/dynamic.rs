@@ -1,0 +1,395 @@
+//! Time-stepped (dynamic) workloads: deterministic scenario generators
+//! that evolve any static mesh's geometry or weights over discrete steps.
+//!
+//! A [`DynamicWorkload`] wraps a base [`Mesh`] (from any generator in this
+//! crate) with a [`Scenario`] and a seed. Every step is a *closed-form*
+//! function of `(base, scenario, seed, t)` — no state is carried between
+//! steps — so any step can be generated in O(n) random access, and step
+//! determinism (same seed + step ⇒ bitwise-identical points and weights)
+//! holds by construction. The mesh *topology* is fixed across steps, as in
+//! a Lagrangian simulation whose mesh moves with the material: only the
+//! coordinates (and, for hotspot churn, the node weights) change.
+//!
+//! These workloads exist to exercise the repartitioning subsystem
+//! (DESIGN.md §5): a partitioner that reuses its previous solution should
+//! track the drift with low migration, which `geographer_graph`'s
+//! migration metrics quantify.
+
+use geographer_geometry::{Point, SplitMix64};
+
+use crate::Mesh;
+
+/// How the base mesh evolves per step. All distances are expressed in
+/// *domain units*: fractions of the base bounding box's extent, so the
+/// same scenario parameters work for any generator's output scale.
+#[derive(Debug, Clone)]
+pub enum Scenario {
+    /// Uniform advection: every point translates by `velocity` (in domain
+    /// units per step), wrapping around the base bounding box like a torus
+    /// — the classic transport benchmark.
+    Advection {
+        /// Displacement per step, as a fraction of the bbox extent per axis.
+        velocity: [f64; 2],
+    },
+    /// Rigid rotation of the whole point set about the bounding-box center
+    /// by `omega` radians per step. Pairwise distances are preserved
+    /// exactly, so partition *shapes* should simply rotate along.
+    Rotation {
+        /// Rotation angle per step in radians.
+        omega: f64,
+    },
+    /// Cluster drift/merge: `clusters` seeded attractors each move along a
+    /// straight line (speed in domain units per step, reflecting off the
+    /// bounding-box walls), and every point rigidly follows the attractor
+    /// nearest to it at step 0. Attractor paths cross over time, so
+    /// clusters drift, collide, and merge — the scenario behind the
+    /// paper's reuse claim.
+    ClusterDrift {
+        /// Number of attractors.
+        clusters: usize,
+        /// Attractor speed per step, as a fraction of the bbox extent.
+        speed: f64,
+    },
+    /// Hotspot churn: geometry is fixed; node weights are multiplied by
+    /// `1 + boost·exp(−d²/2r²)` around a hotspot that orbits the domain
+    /// center — a load spike moving through an otherwise static mesh
+    /// (adaptive refinement, moving boundary condition, …).
+    HotspotChurn {
+        /// Hotspot radius `r`, as a fraction of the bbox extent.
+        radius: f64,
+        /// Peak weight multiplier is `1 + boost`.
+        boost: f64,
+    },
+}
+
+impl Scenario {
+    /// Display name for benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Advection { .. } => "advection",
+            Scenario::Rotation { .. } => "rotation",
+            Scenario::ClusterDrift { .. } => "cluster-drift",
+            Scenario::HotspotChurn { .. } => "hotspot-churn",
+        }
+    }
+}
+
+/// A base mesh plus the scenario evolving it. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    /// The step-0 mesh (any generator's output).
+    pub base: Mesh<2>,
+    /// How it evolves.
+    pub scenario: Scenario,
+    /// Seed for the scenario's random choices (attractor placement,
+    /// hotspot phase). The *same* seed always yields the same evolution.
+    pub seed: u64,
+    /// Cached bbox corners of the base points.
+    lo: [f64; 2],
+    hi: [f64; 2],
+}
+
+/// Reflect `x` into `[lo, hi]` (triangle-wave fold — the path of a
+/// particle bouncing off the interval's walls).
+fn reflect(x: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return lo;
+    }
+    let r = (x - lo).rem_euclid(2.0 * span);
+    if r < span {
+        lo + r
+    } else {
+        lo + 2.0 * span - r
+    }
+}
+
+impl DynamicWorkload {
+    /// Wrap `base` with a scenario. `seed` fixes every random choice the
+    /// scenario makes.
+    pub fn new(base: Mesh<2>, scenario: Scenario, seed: u64) -> Self {
+        let mut lo = [f64::INFINITY; 2];
+        let mut hi = [f64::NEG_INFINITY; 2];
+        for p in &base.points {
+            for d in 0..2 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        if base.points.is_empty() {
+            (lo, hi) = ([0.0; 2], [1.0; 2]);
+        }
+        DynamicWorkload { base, scenario, seed, lo, hi }
+    }
+
+    /// Extent of the base bounding box per axis.
+    fn span(&self) -> [f64; 2] {
+        [
+            (self.hi[0] - self.lo[0]).max(f64::MIN_POSITIVE),
+            (self.hi[1] - self.lo[1]).max(f64::MIN_POSITIVE),
+        ]
+    }
+
+    /// The attractors of a [`Scenario::ClusterDrift`] at step `t`:
+    /// seeded start position + straight-line motion, reflected off the
+    /// bounding-box walls.
+    fn attractors_at(&self, clusters: usize, speed: f64, t: usize) -> Vec<[f64; 2]> {
+        let mut rng = SplitMix64::new(self.seed ^ 0xC1D5_7E2F_0A3B_9D41);
+        let span = self.span();
+        (0..clusters)
+            .map(|_| {
+                let start = [
+                    self.lo[0] + rng.next_f64() * span[0],
+                    self.lo[1] + rng.next_f64() * span[1],
+                ];
+                let angle = rng.next_f64() * std::f64::consts::TAU;
+                let vel = [angle.cos() * speed * span[0], angle.sin() * speed * span[1]];
+                [
+                    reflect(start[0] + t as f64 * vel[0], self.lo[0], self.hi[0]),
+                    reflect(start[1] + t as f64 * vel[1], self.lo[1], self.hi[1]),
+                ]
+            })
+            .collect()
+    }
+
+    /// Hotspot center at step `t`: orbiting the domain center at 0.35×span
+    /// radius, 0.5 rad/step, with a seeded starting phase.
+    fn hotspot_at(&self, t: usize) -> [f64; 2] {
+        let mut rng = SplitMix64::new(self.seed ^ 0x9F2D_63A1_44B7_E05C);
+        let phase0 = rng.next_f64() * std::f64::consts::TAU;
+        let span = self.span();
+        let center =
+            [(self.lo[0] + self.hi[0]) * 0.5, (self.lo[1] + self.hi[1]) * 0.5];
+        let phase = phase0 + 0.5 * t as f64;
+        [
+            center[0] + 0.35 * span[0] * phase.cos(),
+            center[1] + 0.35 * span[1] * phase.sin(),
+        ]
+    }
+
+    /// Point coordinates at step `t` (`t = 0` is the base mesh, bitwise).
+    pub fn points_at(&self, t: usize) -> Vec<Point<2>> {
+        if t == 0 {
+            return self.base.points.clone();
+        }
+        let span = self.span();
+        match &self.scenario {
+            Scenario::Advection { velocity } => self
+                .base
+                .points
+                .iter()
+                .map(|p| {
+                    let mut c = [0.0; 2];
+                    for d in 0..2 {
+                        // Torus wrap in normalized coordinates.
+                        let u = (p[d] - self.lo[d]) / span[d] + t as f64 * velocity[d];
+                        c[d] = self.lo[d] + u.rem_euclid(1.0) * span[d];
+                    }
+                    Point::new(c)
+                })
+                .collect(),
+            Scenario::Rotation { omega } => {
+                let angle = *omega * t as f64;
+                let (sin, cos) = angle.sin_cos();
+                let cx = (self.lo[0] + self.hi[0]) * 0.5;
+                let cy = (self.lo[1] + self.hi[1]) * 0.5;
+                self.base
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let (x, y) = (p[0] - cx, p[1] - cy);
+                        Point::new([cx + x * cos - y * sin, cy + x * sin + y * cos])
+                    })
+                    .collect()
+            }
+            Scenario::ClusterDrift { clusters, speed } => {
+                let clusters = (*clusters).max(1);
+                let start = self.attractors_at(clusters, *speed, 0);
+                let now = self.attractors_at(clusters, *speed, t);
+                self.base
+                    .points
+                    .iter()
+                    .map(|p| {
+                        // Membership is fixed at step 0: the point rigidly
+                        // follows its initial nearest attractor.
+                        let mut best = 0usize;
+                        let mut best_d = f64::INFINITY;
+                        for (j, a) in start.iter().enumerate() {
+                            let d = (p[0] - a[0]).powi(2) + (p[1] - a[1]).powi(2);
+                            if d < best_d {
+                                best_d = d;
+                                best = j;
+                            }
+                        }
+                        Point::new([
+                            p[0] + now[best][0] - start[best][0],
+                            p[1] + now[best][1] - start[best][1],
+                        ])
+                    })
+                    .collect()
+            }
+            Scenario::HotspotChurn { .. } => self.base.points.clone(),
+        }
+    }
+
+    /// Node weights at step `t` (`t = 0` is the base mesh, bitwise).
+    pub fn weights_at(&self, t: usize) -> Vec<f64> {
+        match &self.scenario {
+            Scenario::HotspotChurn { radius, boost } if t > 0 => {
+                let span = self.span();
+                let r = radius.max(1e-9) * span[0].max(span[1]);
+                let h = self.hotspot_at(t);
+                self.base
+                    .weights
+                    .iter()
+                    .zip(&self.base.points)
+                    .map(|(&w, p)| {
+                        let d2 = (p[0] - h[0]).powi(2) + (p[1] - h[1]).powi(2);
+                        w * (1.0 + boost * (-d2 / (2.0 * r * r)).exp())
+                    })
+                    .collect()
+            }
+            _ => self.base.weights.clone(),
+        }
+    }
+
+    /// The full mesh at step `t`: evolved coordinates and weights over the
+    /// *fixed* base topology.
+    pub fn mesh_at(&self, t: usize) -> Mesh<2> {
+        Mesh {
+            points: self.points_at(t),
+            weights: self.weights_at(t),
+            graph: self.base.graph.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delaunay_unit_square;
+
+    fn workload(scenario: Scenario) -> DynamicWorkload {
+        DynamicWorkload::new(delaunay_unit_square(400, 9), scenario, 123)
+    }
+
+    fn all_scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::Advection { velocity: [0.03, 0.011] },
+            Scenario::Rotation { omega: 0.2 },
+            Scenario::ClusterDrift { clusters: 4, speed: 0.02 },
+            Scenario::HotspotChurn { radius: 0.15, boost: 8.0 },
+        ]
+    }
+
+    #[test]
+    fn step_zero_is_the_base_mesh() {
+        for sc in all_scenarios() {
+            let wl = workload(sc);
+            assert_eq!(wl.points_at(0), wl.base.points);
+            assert_eq!(wl.weights_at(0), wl.base.weights);
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic_and_random_access() {
+        for sc in all_scenarios() {
+            let wl = workload(sc.clone());
+            let wl2 = workload(sc); // fresh instance, same seed
+            for t in [1usize, 3, 7] {
+                assert_eq!(wl.points_at(t), wl.points_at(t), "repeat call differs");
+                assert_eq!(wl.points_at(t), wl2.points_at(t), "fresh instance differs");
+                assert_eq!(wl.weights_at(t), wl2.weights_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_scenarios_actually_move_points() {
+        for sc in all_scenarios() {
+            let wl = workload(sc.clone());
+            let moved = wl
+                .points_at(3)
+                .iter()
+                .zip(&wl.base.points)
+                .filter(|(a, b)| a.dist(b) > 1e-12)
+                .count();
+            match sc {
+                Scenario::HotspotChurn { .. } => assert_eq!(moved, 0, "churn is weight-only"),
+                _ => assert!(moved > 350, "{}: only {moved} points moved", sc.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn advection_wraps_inside_the_base_bbox() {
+        let wl = workload(Scenario::Advection { velocity: [0.13, 0.07] });
+        for t in 0..20 {
+            for p in wl.points_at(t) {
+                assert!(p[0] >= wl.lo[0] - 1e-9 && p[0] <= wl.hi[0] + 1e-9);
+                assert!(p[1] >= wl.lo[1] - 1e-9 && p[1] <= wl.hi[1] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_pairwise_distances() {
+        let wl = workload(Scenario::Rotation { omega: 0.37 });
+        let p5 = wl.points_at(5);
+        for (i, j) in [(0usize, 100usize), (7, 300), (42, 199)] {
+            let before = wl.base.points[i].dist(&wl.base.points[j]);
+            let after = p5[i].dist(&p5[j]);
+            assert!((before - after).abs() < 1e-9, "rotation must be rigid");
+        }
+    }
+
+    #[test]
+    fn hotspot_churn_boosts_weights_near_a_moving_center() {
+        let wl = workload(Scenario::HotspotChurn { radius: 0.12, boost: 10.0 });
+        let w1 = wl.weights_at(1);
+        let w4 = wl.weights_at(4);
+        // Weights stay positive and the hotspot really boosts somebody.
+        assert!(w1.iter().all(|w| *w >= 1.0));
+        assert!(w1.iter().cloned().fold(0.0, f64::max) > 5.0, "peak boost missing");
+        // The hotspot moves: the boosted region differs between steps.
+        assert_ne!(w1, w4);
+        // The mesh stays valid (positive finite weights, same topology).
+        wl.mesh_at(4).validate();
+    }
+
+    #[test]
+    fn cluster_drift_moves_clusters_rigidly() {
+        let wl = workload(Scenario::ClusterDrift { clusters: 3, speed: 0.05 });
+        let p6 = wl.points_at(6);
+        // Points sharing an attractor keep their relative offsets; overall
+        // the displacement field has at most `clusters` distinct vectors.
+        let mut displacements: Vec<(i64, i64)> = wl
+            .base
+            .points
+            .iter()
+            .zip(&p6)
+            .map(|(a, b)| {
+                (((b[0] - a[0]) * 1e9).round() as i64, ((b[1] - a[1]) * 1e9).round() as i64)
+            })
+            .collect();
+        displacements.sort_unstable();
+        displacements.dedup();
+        assert!(
+            displacements.len() <= 3,
+            "expected ≤ 3 rigid displacement vectors, got {}",
+            displacements.len()
+        );
+    }
+
+    #[test]
+    fn reflect_stays_in_range() {
+        for i in -100..100 {
+            let x = i as f64 * 0.173;
+            let r = reflect(x, 0.25, 1.5);
+            assert!((0.25..=1.5).contains(&r), "reflect({x}) = {r}");
+        }
+        // Identity inside the interval.
+        assert!((reflect(0.7, 0.25, 1.5) - 0.7).abs() < 1e-12);
+    }
+}

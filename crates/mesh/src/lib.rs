@@ -9,6 +9,7 @@
 //! | 333SP / AS365 / NACA0015 … (2D FEM meshes) | [`families::airfoil_like`] |
 //! | fesom 2.5D climate meshes with node weights | [`climate::climate25d`] |
 //! | 3D Delaunay & Alya meshes | [`knn3d`] + [`grid::grid3d`] (substitution, see DESIGN.md §3) |
+//! | time-stepped (drifting) workloads | [`dynamic`] scenarios over any of the above |
 //!
 //! All generators return a [`Mesh`]: points + node weights + the CSR graph
 //! the partition quality is measured on.
@@ -20,6 +21,7 @@
 pub mod climate;
 pub mod delaunay;
 pub mod density;
+pub mod dynamic;
 pub mod families;
 pub mod grid;
 pub mod knn3d;
@@ -30,6 +32,7 @@ use geographer_graph::CsrGraph;
 
 pub use climate::climate25d;
 pub use delaunay::{delaunay_edges, delaunay_unit_square};
+pub use dynamic::{DynamicWorkload, Scenario};
 pub use grid::{grid2d, grid3d};
 pub use knn3d::knn3d;
 pub use rgg::rgg2d;

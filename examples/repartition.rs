@@ -1,0 +1,84 @@
+//! Repartitioning a drifting point set: warm starts vs cold re-runs.
+//!
+//! A cluster-drift workload evolves a Delaunay mesh over 8 time steps.
+//! At every step the partition is recomputed two ways — cold (the full
+//! SFC + k-means pipeline from scratch) and warm (balanced k-means
+//! warm-started from the previous step's centers and influences) — and the
+//! relabel-free migrated-point fraction between consecutive assignments is
+//! printed for both. Warm starts track the drift, so far fewer points
+//! change block (the paper's reuse argument; DESIGN.md §5).
+//!
+//! ```sh
+//! cargo run --release --example repartition
+//! ```
+
+use geographer::{partition, repartition, Config};
+use geographer_graph::relabel_free_migration;
+use geographer_mesh::{delaunay_unit_square, DynamicWorkload, Scenario};
+
+fn main() {
+    let (n, k, steps, seed) = (10_000, 8, 8, 17);
+    let workload = DynamicWorkload::new(
+        delaunay_unit_square(n, seed),
+        Scenario::ClusterDrift { clusters: 5, speed: 0.005 },
+        seed,
+    );
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    println!("cluster-drift workload: n = {n}, k = {k}, {steps} steps, ε = {}", cfg.epsilon);
+    println!("{:>4}  {:>12} {:>10}  {:>12} {:>10}", "step", "warm migr.", "time", "cold migr.", "time");
+
+    // Step 0 bootstraps both chains with the same cold solve.
+    let wp0 = geographer_geometry::WeightedPoints::new(
+        workload.points_at(0),
+        workload.weights_at(0),
+    );
+    let t = std::time::Instant::now();
+    let first = partition(&wp0, k, &cfg);
+    println!("{:>4}  {:>12} {:>9.3}s  (shared cold bootstrap)", 0, "—", t.elapsed().as_secs_f64());
+
+    let mut warm_prev = first.clone();
+    let mut cold_prev_asg = first.assignment.clone();
+    let (mut warm_total, mut cold_total) = (0.0f64, 0.0f64);
+    for step in 1..steps {
+        let wp = geographer_geometry::WeightedPoints::new(
+            workload.points_at(step),
+            workload.weights_at(step),
+        );
+
+        let t = std::time::Instant::now();
+        let warm = repartition(&wp, &warm_prev.previous(), k, &cfg);
+        let warm_secs = t.elapsed().as_secs_f64();
+        let warm_mig =
+            relabel_free_migration(&warm_prev.assignment, &warm.assignment, &wp.weights, k);
+
+        let t = std::time::Instant::now();
+        let cold = partition(&wp, k, &cfg);
+        let cold_secs = t.elapsed().as_secs_f64();
+        let cold_mig = relabel_free_migration(&cold_prev_asg, &cold.assignment, &wp.weights, k);
+
+        println!(
+            "{:>4}  {:>11.1}% {:>9.3}s  {:>11.1}% {:>9.3}s",
+            step,
+            warm_mig.point_fraction * 100.0,
+            warm_secs,
+            cold_mig.point_fraction * 100.0,
+            cold_secs,
+        );
+        assert!(warm.stats.balance_achieved, "warm step {step} must stay within ε");
+        warm_total += warm_mig.point_fraction;
+        cold_total += cold_mig.point_fraction;
+        warm_prev = warm;
+        cold_prev_asg = cold.assignment;
+    }
+
+    let resteps = (steps - 1) as f64;
+    println!(
+        "\nmean migrated-point fraction: warm {:.1}%, cold {:.1}%",
+        warm_total / resteps * 100.0,
+        cold_total / resteps * 100.0,
+    );
+    assert!(
+        warm_total <= cold_total,
+        "warm starts should not migrate more than cold re-runs on drift"
+    );
+}

@@ -1,0 +1,74 @@
+//! Cross-tool SPMD conformance suite: every tool × every rank count ×
+//! two mesh families must satisfy the basic partitioner contract —
+//! complete in-range assignments, no empty block, and rank-count
+//! invariance (bitwise for the exact-arithmetic baselines, ≥ 99.5 %
+//! agreement for the tools whose cuts depend on inexact cross-rank
+//! floating-point sums; see DESIGN.md §1 for the policy).
+//!
+//! The rank counts deliberately include a non-power-of-two (p = 7) so the
+//! butterfly collectives' fold/unfold path is exercised by every tool.
+
+use geographer::Config;
+use geographer_bench::{run_tool, Tool};
+use geographer_mesh::{delaunay_unit_square, families::bubbles_like, Mesh};
+
+const RANK_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const K: usize = 5;
+
+/// Tools whose SPMD arithmetic is exact on unit weights (coordinate cuts,
+/// integer Hilbert keys): rank-count invariance must be bitwise.
+const EXACT_TOOLS: [Tool; 3] = [Tool::Hsfc, Tool::MultiJagged, Tool::Rcb];
+
+fn agreement(a: &[u32], b: &[u32]) -> f64 {
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+fn block_sizes(asg: &[u32], k: usize, label: &str) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for &b in asg {
+        assert!((b as usize) < k, "{label}: block id {b} out of range (k = {k})");
+        counts[b as usize] += 1;
+    }
+    counts
+}
+
+fn conformance(mesh: &Mesh<2>, family: &str) {
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    for tool in Tool::ALL {
+        let exact = EXACT_TOOLS.contains(&tool);
+        let reference = run_tool(tool, mesh, K, 1, &cfg).assignment;
+        for p in RANK_COUNTS {
+            let label = format!("{} on {family} at p={p}", tool.name());
+            let out = run_tool(tool, mesh, K, p, &cfg);
+            // Assignment length preserved, ids in range, no empty block.
+            assert_eq!(out.assignment.len(), mesh.n(), "{label}: length");
+            let counts = block_sizes(&out.assignment, K, &label);
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{label}: empty block, sizes {counts:?}"
+            );
+            // SPMD vs single-rank agreement.
+            if exact {
+                assert_eq!(out.assignment, reference, "{label}: must be bitwise invariant");
+            } else {
+                let agree = agreement(&out.assignment, &reference);
+                assert!(
+                    agree >= 0.995,
+                    "{label}: only {:.2}% agreement with p=1",
+                    agree * 100.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_on_delaunay() {
+    conformance(&delaunay_unit_square(1100, 33), "delaunay");
+}
+
+#[test]
+fn conformance_on_a_refined_density_mesh() {
+    conformance(&bubbles_like(950, 34), "bubbles-like");
+}
