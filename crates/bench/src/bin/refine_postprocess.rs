@@ -6,10 +6,10 @@
 //! report the edge-cut improvement.
 
 use geographer::Config;
-use geographer_bench::{run_tool, scaled, TextTable, Tool};
+use geographer_bench::{run_tool_configured, scaled, RunConfig, TextTable, Tool};
 use geographer_graph::imbalance;
 use geographer_mesh::families::{trace_like, tric_like};
-use geographer_refine::{refine_partition, RefineConfig};
+use geographer_refine::RefineConfig;
 
 fn main() {
     let n = scaled(20_000);
@@ -19,14 +19,14 @@ fn main() {
     let mut table = TextTable::new(vec![
         "mesh", "tool", "cutBefore", "cutAfter", "improvement%", "moves", "imbalanceAfter",
     ]);
-    let cfg = Config::default();
-    let rcfg = RefineConfig::default();
+    // The refinement post-pass is a driver-level opt-in: flag it on the run
+    // config and every tool row carries its before/after cut.
+    let rc = RunConfig { core: Config::default(), refine: Some(RefineConfig::default()) };
     for (name, mesh) in &meshes {
         for tool in Tool::ALL {
-            let out = run_tool(tool, mesh, k, 2, &cfg);
-            let mut asg = out.assignment.clone();
-            let report = refine_partition(&mesh.graph, &mut asg, &mesh.weights, k, &rcfg);
-            let imb = imbalance(&asg, &mesh.weights, k);
+            let out = run_tool_configured(tool, mesh, k, 2, &rc);
+            let report = out.refine.expect("refine post-pass was requested");
+            let imb = imbalance(&out.assignment, &mesh.weights, k);
             table.row(vec![
                 name.to_string(),
                 tool.name().to_string(),

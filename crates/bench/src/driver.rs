@@ -11,7 +11,8 @@ use geographer_graph::{
 };
 use geographer_mesh::{DynamicWorkload, Mesh};
 use geographer_parcomm::{run_spmd, Comm, CommStats};
-use geographer_spmv::spmv_comm_time;
+use geographer_refine::{refine_partition, RefineConfig, RefineReport};
+use geographer_spmv::{spmv_comm_time, SpmvReport};
 
 /// The five evaluated tools, in the paper's presentation order
 /// (Geographer first, then the Zoltan geometric partitioners).
@@ -71,16 +72,40 @@ impl Tool {
 /// Result of one tool run on one mesh.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Block per vertex, in mesh order.
+    /// Block per vertex, in mesh order (post-refinement when the FM-style
+    /// post-pass was enabled).
     pub assignment: Vec<u32>,
-    /// Wall-clock seconds of the whole SPMD run. On the single-core
-    /// reproduction machine this approximates the *serialized* compute of
-    /// all ranks.
+    /// Wall-clock seconds of the whole SPMD run (including the refinement
+    /// post-pass when enabled). On the single-core reproduction machine
+    /// this approximates the *serialized* compute of all ranks.
     pub wall_seconds: f64,
     /// Communication counters accumulated by the run.
     pub comm: CommStats,
     /// Number of ranks used.
     pub ranks: usize,
+    /// Report of the FM-style refinement post-pass, when it ran
+    /// ([`RunConfig::refine`]): edge cut before/after and move counts.
+    pub refine: Option<RefineReport>,
+}
+
+/// Full configuration of one driver run: the solver configuration plus the
+/// driver-level switches that sit on top of every tool.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Solver configuration handed to the tool.
+    pub core: Config,
+    /// Opt-in graph-based refinement post-pass (the paper's Sec. 2
+    /// FM-style extension): when set, [`geographer_refine`] runs on the
+    /// finished assignment and the before/after edge cut is reported in
+    /// [`RunOutcome::refine`] / [`ToolRow::refine`].
+    pub refine: Option<RefineConfig>,
+}
+
+impl RunConfig {
+    /// Plain run of a solver configuration, no post-passes.
+    pub fn new(core: Config) -> Self {
+        RunConfig { core, refine: None }
+    }
 }
 
 /// Run `tool` on `mesh` with `p` SPMD ranks (threads) and `k` blocks.
@@ -92,7 +117,20 @@ pub fn run_tool<const D: usize>(
     p: usize,
     cfg: &Config,
 ) -> RunOutcome {
+    run_tool_configured(tool, mesh, k, p, &RunConfig::new(cfg.clone()))
+}
+
+/// [`run_tool`] with the full [`RunConfig`], including the opt-in
+/// refinement post-pass.
+pub fn run_tool_configured<const D: usize>(
+    tool: Tool,
+    mesh: &Mesh<D>,
+    k: usize,
+    p: usize,
+    rc: &RunConfig,
+) -> RunOutcome {
     assert!(p >= 1 && k >= 1);
+    let cfg = &rc.core;
     let n = mesh.n();
     let chunk_bounds: Vec<(usize, usize)> =
         (0..p).map(|r| (r * n / p, (r + 1) * n / p)).collect();
@@ -104,11 +142,15 @@ pub fn run_tool<const D: usize>(
             tool.partition_spmd(&comm, &mesh.points[lo..hi], &mesh.weights[lo..hi], k, cfg);
         (asg, comm.stats().since(&before))
     });
-    let wall_seconds = t.elapsed().as_secs_f64();
     let comm = results[0].1;
-    let assignment: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
+    let mut assignment: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
     assert_eq!(assignment.len(), n);
-    RunOutcome { assignment, wall_seconds, comm, ranks: p }
+    let refine = rc
+        .refine
+        .as_ref()
+        .map(|rcfg| refine_partition(&mesh.graph, &mut assignment, &mesh.weights, k, rcfg));
+    let wall_seconds = t.elapsed().as_secs_f64();
+    RunOutcome { assignment, wall_seconds, comm, ranks: p, refine }
 }
 
 /// How a tool is restarted on each step of a time-stepped workload.
@@ -252,11 +294,26 @@ pub struct ToolRow {
     pub time: f64,
     /// Graph metrics of the produced partition.
     pub metrics: PartitionMetrics,
-    /// Average SpMV halo-exchange seconds (over `spmv_reps` repetitions,
-    /// summed across ranks).
+    /// SpMV halo-exchange seconds per multiplication: the *maximum* over
+    /// ranks of the per-rank average (over `spmv_reps` repetitions). The
+    /// paper's `timeSpMVComm` is bounded by the slowest rank — every rank
+    /// waits for its neighbourhood exchange to complete — so summing the
+    /// per-rank times would overstate the cost by up to a factor of `p`
+    /// (see DESIGN.md §6 erratum).
     pub spmv_comm_seconds: f64,
-    /// Bytes moved per SpMV (8 × total communication volume when k = p).
+    /// Bytes moved per SpMV across all ranks (8 × total communication
+    /// volume when k = p) — a volume, so this one *is* the sum.
     pub spmv_bytes: u64,
+    /// Refinement post-pass report, forwarded from [`RunOutcome::refine`].
+    pub refine: Option<RefineReport>,
+}
+
+/// Aggregate per-rank SpMV reports into the row scalars: slowest-rank
+/// exchange seconds (`timeSpMVComm` semantics) and summed bytes.
+pub fn aggregate_spmv(reports: &[SpmvReport]) -> (f64, u64) {
+    let seconds = reports.iter().map(|r| r.comm_seconds_avg).fold(0.0, f64::max);
+    let bytes = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+    (seconds, bytes)
 }
 
 /// Evaluate a finished run: graph metrics + the empirical SpMV benchmark
@@ -273,14 +330,14 @@ pub fn evaluate_run<const D: usize>(
     // without massive thread oversubscription on the 1-core box.
     let p = k.clamp(1, 8);
     let reports = run_spmd(p, |c| spmv_comm_time(&c, &mesh.graph, &outcome.assignment, k, spmv_reps));
-    let spmv_comm_seconds: f64 = reports.iter().map(|r| r.comm_seconds_avg).sum::<f64>();
-    let spmv_bytes: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+    let (spmv_comm_seconds, spmv_bytes) = aggregate_spmv(&reports);
     ToolRow {
         tool: tool.name(),
         time: outcome.wall_seconds,
         metrics,
         spmv_comm_seconds,
         spmv_bytes,
+        refine: outcome.refine,
     }
 }
 
@@ -326,6 +383,63 @@ mod tests {
         // Baselines run in warm mode too (degrading to cold re-runs).
         let steps = run_tool_repartition(Tool::Rcb, &wl, 4, 2, &cfg, 2, RepartitionMode::Warm);
         assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn spmv_seconds_are_slowest_rank_not_rank_sum() {
+        // Regression for the timeSpMVComm semantics: the reported time is
+        // the max across ranks — always ≤ the per-rank sum (what the old
+        // code reported) and ≥ the per-rank max (it *is* the max).
+        let reports: Vec<SpmvReport> = [0.004, 0.001, 0.003, 0.002]
+            .iter()
+            .map(|&s| SpmvReport {
+                comm_seconds_avg: s,
+                bytes_sent_per_iter: 100,
+                ..SpmvReport::default()
+            })
+            .collect();
+        let (secs, bytes) = aggregate_spmv(&reports);
+        let per_rank_sum: f64 = reports.iter().map(|r| r.comm_seconds_avg).sum();
+        let per_rank_max =
+            reports.iter().map(|r| r.comm_seconds_avg).fold(0.0, f64::max);
+        assert!(secs <= per_rank_sum, "{secs} must not exceed the rank sum {per_rank_sum}");
+        assert!(secs >= per_rank_max, "{secs} must cover the slowest rank {per_rank_max}");
+        assert_eq!(secs, 0.004);
+        // Bytes are a volume: still the sum.
+        assert_eq!(bytes, 400);
+        assert_eq!(aggregate_spmv(&[]), (0.0, 0));
+    }
+
+    #[test]
+    fn refine_post_pass_is_opt_in_and_reports_cut() {
+        let mesh = delaunay_unit_square(1000, 7);
+        let k = 6;
+        let plain = run_tool(Tool::Hsfc, &mesh, k, 2, &Config::default());
+        assert!(plain.refine.is_none(), "refinement must be opt-in");
+
+        let rc = RunConfig {
+            core: Config::default(),
+            refine: Some(geographer_refine::RefineConfig::default()),
+        };
+        let refined = run_tool_configured(Tool::Hsfc, &mesh, k, 2, &rc);
+        let report = refined.refine.expect("post-pass must report");
+        assert_eq!(
+            report.cut_before,
+            geographer_refine::edge_cut(&mesh.graph, &plain.assignment),
+            "post-pass starts from the tool's own partition"
+        );
+        assert!(report.cut_after <= report.cut_before);
+        assert_eq!(
+            report.cut_after,
+            geographer_refine::edge_cut(&mesh.graph, &refined.assignment),
+            "outcome carries the refined assignment"
+        );
+        // The report reaches the tool row.
+        let row = evaluate_run(Tool::Hsfc, &mesh, &refined, k, 2);
+        assert_eq!(row.refine.unwrap(), report);
+        assert_eq!(row.metrics.edge_cut, report.cut_after);
+        // Balance survives refinement.
+        assert!(row.metrics.imbalance <= 0.06);
     }
 
     #[test]

@@ -10,10 +10,10 @@ pub mod cost;
 pub mod driver;
 pub mod table;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, TieredCostModel};
 pub use driver::{
-    evaluate_run, run_tool, run_tool_repartition, RepartitionMode, RepartitionStep,
-    RunOutcome, Tool, ToolRow,
+    aggregate_spmv, evaluate_run, run_tool, run_tool_configured, run_tool_repartition,
+    RepartitionMode, RepartitionStep, RunConfig, RunOutcome, Tool, ToolRow,
 };
 pub use table::TextTable;
 

@@ -116,6 +116,19 @@ impl Config {
         }
     }
 
+    /// Derive the solver configuration of one hierarchy level: identical
+    /// tuning knobs, but the level's balance bound and capacity fractions
+    /// (`None` inherits this config's ε / uniform targets). Used by
+    /// [`crate::hierarchy`]'s recursive solve so that per-level ε
+    /// semantics live in exactly one place.
+    pub fn for_level(&self, epsilon: Option<f64>, fractions: Option<Vec<f64>>) -> Config {
+        Config {
+            epsilon: epsilon.unwrap_or(self.epsilon),
+            target_fractions: fractions,
+            ..self.clone()
+        }
+    }
+
     /// The normalized per-block weight fractions for `k` blocks.
     ///
     /// # Panics

@@ -85,6 +85,31 @@
 //! let kept = next.assignment.iter().zip(&first.assignment).filter(|(a, b)| a == b).count();
 //! assert!(kept >= 540, "warm repartitioning keeps most points in place");
 //! ```
+//!
+//! ## Hierarchical (processor-aware) partitioning
+//!
+//! For machines with a communication hierarchy (nodes × sockets × cores),
+//! solve recursively so the expensive cut lands on the cheap links:
+//! [`partition_hierarchical`] partitions into the outermost groups first
+//! and then splits inside each group, flattening leaf paths to contiguous
+//! flat block ids (DESIGN.md §6):
+//!
+//! ```
+//! use geographer::{partition_hierarchical, Config, HierarchySpec};
+//! use geographer_geometry::{Point, WeightedPoints};
+//!
+//! let mut rng = geographer_geometry::SplitMix64::new(11);
+//! let pts: Vec<Point<2>> =
+//!     (0..800).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+//! let spec = HierarchySpec::uniform(&[4, 2]); // 4 nodes × 2 cores = 8 blocks
+//! let res = partition_hierarchical(
+//!     &WeightedPoints::unweighted(pts),
+//!     &spec,
+//!     &Config { sampling_init: false, ..Config::default() },
+//! );
+//! assert!(res.assignment.iter().all(|&b| b < 8));
+//! assert_eq!(res.paths[5], vec![2, 1]); // block 5 = node 2, core 1
+//! ```
 
 // Fixed-dimension coordinate loops index several parallel arrays at once;
 // iterator-zip rewrites of those loops are less readable, not more.
@@ -92,6 +117,7 @@
 
 pub mod bounds;
 pub mod config;
+pub mod hierarchy;
 pub mod influence;
 pub mod kdtree;
 pub mod kmeans;
@@ -99,6 +125,11 @@ pub mod pipeline;
 pub mod repartition;
 
 pub use config::{validate_k, Config};
+pub use hierarchy::{
+    partition_hierarchical, partition_hierarchical_spmd, repartition_hierarchical,
+    repartition_hierarchical_spmd, HierarchicalResult, HierarchySpec, LevelSpec,
+    PreviousHierarchy,
+};
 pub use kmeans::{balanced_kmeans, balanced_kmeans_warm, KMeansOutput, KMeansStats};
 pub use pipeline::{
     global_bbox, partition, partition_spmd, PhaseComm, PipelineResult, PipelineTimings,

@@ -1,0 +1,171 @@
+//! Per-level partition metrics for hierarchical (processor-aware)
+//! partitions.
+//!
+//! A hierarchical partition assigns every vertex a flat leaf block, and a
+//! spec-provided coarsening maps each leaf block to its ancestor group at
+//! every level (`geographer::HierarchySpec::level_groups`). The metrics of
+//! Sec. 2 then split by machine tier: an edge cut at level 0 crosses
+//! *node* boundaries (the expensive links), while an edge cut only at the
+//! leaf level stays inside a node (cheap links). The same applies to the
+//! communication volume: the level-`l` volume counts the boundary values a
+//! level-`l` group must send to *other level-`l` groups* — exactly what an
+//! SpMV's inter-group traffic is at that tier.
+
+use crate::csr::CsrGraph;
+
+/// Cut/communication-volume metrics of one hierarchy level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMetrics {
+    /// Number of groups at this level.
+    pub groups: usize,
+    /// Edges whose endpoints lie in different level groups. Level 0's
+    /// value is the *inter-node* cut; the flat (leaf-level) cut minus it
+    /// is the intra-node cut.
+    pub edge_cut: u64,
+    /// Per-group communication volume at this level.
+    pub comm_volume: Vec<u64>,
+    /// Max over groups of the communication volume.
+    pub max_comm_volume: u64,
+    /// Sum over groups of the communication volume.
+    pub total_comm_volume: u64,
+}
+
+/// Coarsen a flat block assignment through a block→group map.
+///
+/// # Panics
+/// If any block id is out of the map's range.
+pub fn coarsen_assignment(assignment: &[u32], group_of_block: &[u32]) -> Vec<u32> {
+    assignment.iter().map(|&b| group_of_block[b as usize]).collect()
+}
+
+/// Cut + communication volume of a (possibly coarsened) assignment with
+/// `groups` groups — the single implementation of the metric core shared
+/// by [`crate::evaluate_partition`] (which adds the diameter pass) and
+/// [`evaluate_levels`].
+pub(crate) fn cut_and_volume(g: &CsrGraph, assignment: &[u32], groups: usize) -> LevelMetrics {
+    let mut edge_cut = 0u64;
+    let mut comm_volume = vec![0u64; groups];
+    let mut seen: Vec<u32> = Vec::with_capacity(16);
+    for v in 0..g.n() as u32 {
+        let bv = assignment[v as usize];
+        seen.clear();
+        for &u in g.neighbors(v) {
+            let bu = assignment[u as usize];
+            if bu != bv {
+                if v < u {
+                    edge_cut += 1;
+                }
+                if !seen.contains(&bu) {
+                    seen.push(bu);
+                }
+            }
+        }
+        comm_volume[bv as usize] += seen.len() as u64;
+    }
+    LevelMetrics {
+        groups,
+        edge_cut,
+        max_comm_volume: comm_volume.iter().copied().max().unwrap_or(0),
+        total_comm_volume: comm_volume.iter().sum(),
+        comm_volume,
+    }
+}
+
+/// Evaluate the per-level metrics of a hierarchical partition.
+///
+/// `assignment` carries flat leaf block ids; `level_groups[l]` maps each
+/// flat block to its level-`l` group (coarsest level first, as produced by
+/// `HierarchySpec::level_groups` — the last entry is typically the
+/// identity, making the last element the flat metrics). Levels are
+/// *nested*: every level-`l+1` group refines a level-`l` group, so the
+/// returned cuts and volumes are non-decreasing in `l`.
+///
+/// # Panics
+/// On inconsistent lengths or out-of-range block/group ids.
+pub fn evaluate_levels(
+    g: &CsrGraph,
+    assignment: &[u32],
+    level_groups: &[Vec<u32>],
+) -> Vec<LevelMetrics> {
+    assert_eq!(assignment.len(), g.n());
+    assert!(!level_groups.is_empty(), "need at least one level");
+    level_groups
+        .iter()
+        .map(|map| {
+            assert!(
+                assignment.iter().all(|&b| (b as usize) < map.len()),
+                "block id out of range of the level map"
+            );
+            let groups = map.iter().copied().max().map_or(0, |m| m as usize + 1);
+            let coarse = coarsen_assignment(assignment, map);
+            cut_and_volume(g, &coarse, groups)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4-5-6-7 with 8 leaf blocks grouped [4,2]-style:
+    /// blocks {0,1} are node 0, {2,3} node 1, …
+    fn path8() -> (CsrGraph, Vec<u32>, Vec<Vec<u32>>) {
+        let edges: Vec<(u32, u32)> = (0..7u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(8, &edges);
+        let asg: Vec<u32> = (0..8).collect();
+        let level_groups = vec![
+            (0..8u32).map(|b| b / 2).collect(), // node of block
+            (0..8u32).collect(),                // leaf identity
+        ];
+        (g, asg, level_groups)
+    }
+
+    #[test]
+    fn path_levels_split_cut_by_tier() {
+        let (g, asg, groups) = path8();
+        let levels = evaluate_levels(&g, &asg, &groups);
+        assert_eq!(levels.len(), 2);
+        // All 7 path edges are cut at the leaf level; only the 3 edges
+        // crossing a node boundary (1-2, 3-4, 5-6) at level 0.
+        assert_eq!(levels[1].edge_cut, 7);
+        assert_eq!(levels[0].edge_cut, 3);
+        assert_eq!(levels[0].groups, 4);
+        // Interior nodes send to both sides, end nodes to one.
+        assert_eq!(levels[0].comm_volume, vec![1, 2, 2, 1]);
+        assert_eq!(levels[0].total_comm_volume, 6);
+    }
+
+    #[test]
+    fn nested_levels_are_monotone() {
+        let (g, asg, groups) = path8();
+        let levels = evaluate_levels(&g, &asg, &groups);
+        assert!(levels[0].edge_cut <= levels[1].edge_cut);
+        assert!(levels[0].total_comm_volume <= levels[1].total_comm_volume);
+    }
+
+    #[test]
+    fn leaf_level_matches_evaluate_partition() {
+        let (g, asg, groups) = path8();
+        let flat = crate::metrics::evaluate_partition(&g, &asg, &[1.0; 8], 8);
+        let levels = evaluate_levels(&g, &asg, &groups);
+        let leaf = levels.last().unwrap();
+        assert_eq!(leaf.edge_cut, flat.edge_cut);
+        assert_eq!(leaf.comm_volume, flat.comm_volume);
+        assert_eq!(leaf.total_comm_volume, flat.total_comm_volume);
+        assert_eq!(leaf.max_comm_volume, flat.max_comm_volume);
+    }
+
+    #[test]
+    fn coarsen_maps_blocks_to_groups() {
+        assert_eq!(coarsen_assignment(&[0, 3, 2, 1], &[0, 0, 1, 1]), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn single_group_has_no_cut() {
+        let (g, asg, _) = path8();
+        let all_one = vec![vec![0u32; 8]];
+        let levels = evaluate_levels(&g, &asg, &all_one);
+        assert_eq!(levels[0].edge_cut, 0);
+        assert_eq!(levels[0].total_comm_volume, 0);
+    }
+}

@@ -11,11 +11,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod csr;
+pub mod hierarchy;
 pub mod metrics;
 pub mod migration;
 pub mod traversal;
 
 pub use csr::CsrGraph;
+pub use hierarchy::{coarsen_assignment, evaluate_levels, LevelMetrics};
 pub use metrics::{
     evaluate_partition, geometric_mean, harmonic_mean_diameter, imbalance, PartitionMetrics,
 };

@@ -105,30 +105,15 @@ pub fn evaluate_partition(
     assert_eq!(weights.len(), g.n());
     assert!(assignment.iter().all(|&b| (b as usize) < k), "block id out of range");
 
-    // Edge cut + communication volume in one pass.
-    let mut edge_cut = 0u64;
-    let mut comm_volume = vec![0u64; k];
-    let mut seen_blocks: Vec<u32> = Vec::with_capacity(16);
-    for v in 0..g.n() as u32 {
-        let bv = assignment[v as usize];
-        seen_blocks.clear();
-        for &u in g.neighbors(v) {
-            let bu = assignment[u as usize];
-            if bu != bv {
-                if v < u {
-                    edge_cut += 1;
-                }
-                if !seen_blocks.contains(&bu) {
-                    seen_blocks.push(bu);
-                }
-            } else if v < u {
-                // internal edge
-            }
-        }
-        comm_volume[bv as usize] += seen_blocks.len() as u64;
-    }
-    let max_comm_volume = comm_volume.iter().copied().max().unwrap_or(0);
-    let total_comm_volume = comm_volume.iter().sum();
+    // Edge cut + communication volume in one pass (the shared metric core
+    // also behind the per-level hierarchy metrics).
+    let crate::hierarchy::LevelMetrics {
+        edge_cut,
+        comm_volume,
+        max_comm_volume,
+        total_comm_volume,
+        ..
+    } = crate::hierarchy::cut_and_volume(g, assignment, k);
 
     // Per-block vertex lists, then parallel diameter bounds.
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];

@@ -19,14 +19,23 @@ pub struct RefineConfig {
     /// Maximum sweeps over the boundary (each sweep only moves vertices
     /// with positive gain; convergence is usually reached in a handful).
     pub max_rounds: usize,
-    /// Balance slack ε: no block may exceed `max((1+ε)·avg, avg + w_max)`
-    /// after a move (same constraint as the partitioners).
+    /// Balance slack ε: no block may exceed
+    /// `max((1+ε)·target, target + w_max)` after a move — the same
+    /// feasibility floor as the partitioners' balance constraint.
     pub epsilon: f64,
+    /// Per-block target weight fractions, for refining partitions produced
+    /// with heterogeneous targets (`Config::target_fractions` in
+    /// `geographer`): `None` = uniform `total/k` targets; `Some` must have
+    /// length `k` and positive entries (normalized to sum to 1). Without
+    /// this, refinement of a deliberately skewed partition would "rebalance"
+    /// it toward uniform, silently violating the balance the solver was
+    /// asked for.
+    pub target_fractions: Option<Vec<f64>>,
 }
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        RefineConfig { max_rounds: 10, epsilon: 0.03 }
+        RefineConfig { max_rounds: 10, epsilon: 0.03, target_fractions: None }
     }
 }
 
@@ -58,7 +67,9 @@ pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> u64 {
 
 /// Refine `assignment` in place: repeatedly move boundary vertices to the
 /// adjacent block with the largest positive edge-gain, subject to the
-/// balance constraint. Deterministic (fixed sweep order).
+/// balance constraint (per-block targets from
+/// [`RefineConfig::target_fractions`], uniform by default). Deterministic
+/// (fixed sweep order).
 pub fn refine_partition(
     g: &CsrGraph,
     assignment: &mut [u32],
@@ -72,9 +83,33 @@ pub fn refine_partition(
     let cut_before = edge_cut(g, assignment);
 
     let total: f64 = weights.iter().sum();
-    let avg = total / k as f64;
     let w_max = weights.iter().copied().fold(0.0, f64::max);
-    let allowed = ((1.0 + cfg.epsilon) * avg).max(avg + w_max);
+    // Per-block capacity: max((1+ε)·target, target + w_max), the same
+    // feasibility floor as `geographer`'s kmeans.rs, with target either
+    // uniform or the configured heterogeneous fraction of the total.
+    let fractions: Vec<f64> = match &cfg.target_fractions {
+        None => vec![1.0 / k as f64; k],
+        Some(f) => {
+            assert!(
+                f.len() == k,
+                "geographer config: target_fractions length must equal k (got {}, k = {k})",
+                f.len()
+            );
+            assert!(
+                f.iter().all(|x| x.is_finite() && *x > 0.0),
+                "geographer config: target_fractions must be positive"
+            );
+            let sum: f64 = f.iter().sum();
+            f.iter().map(|x| x / sum).collect()
+        }
+    };
+    let allowed: Vec<f64> = fractions
+        .iter()
+        .map(|frac| {
+            let target = total * frac;
+            ((1.0 + cfg.epsilon) * target).max(target + w_max)
+        })
+        .collect();
 
     let mut block_w = vec![0.0f64; k];
     for (&b, &w) in assignment.iter().zip(weights) {
@@ -123,7 +158,7 @@ pub fn refine_partition(
                 if let Some((c, b)) = best {
                     let gain = c as i64 - own_cnt as i64;
                     let w = weights[v as usize];
-                    if gain > 0 && block_w[b as usize] + w <= allowed + 1e-12 {
+                    if gain > 0 && block_w[b as usize] + w <= allowed[b as usize] + 1e-12 {
                         assignment[v as usize] = b;
                         block_w[own as usize] -= w;
                         block_w[b as usize] += w;
@@ -215,7 +250,7 @@ mod tests {
         // Start from a *random* balanced-ish partition: lots to fix.
         let mut asg: Vec<u32> = (0..1000).map(|_| rng.random_range(0..k as u32)).collect();
         let before = edge_cut(&mesh.graph, &asg);
-        let cfg = RefineConfig { max_rounds: 30, epsilon: 0.10 };
+        let cfg = RefineConfig { max_rounds: 30, epsilon: 0.10, ..RefineConfig::default() };
         let report = refine_partition(&mesh.graph, &mut asg, &mesh.weights, k, &cfg);
         assert!(report.cut_after <= report.cut_before);
         assert_eq!(report.cut_before, before);
@@ -245,7 +280,7 @@ mod tests {
         let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         let mut asg = vec![0, 1, 1, 1, 1];
         let weights = vec![1.0; 5];
-        let cfg = RefineConfig { max_rounds: 5, epsilon: 0.0 };
+        let cfg = RefineConfig { max_rounds: 5, epsilon: 0.0, ..RefineConfig::default() };
         let report = refine_partition(&g, &mut asg, &weights, 2, &cfg);
         assert!(report.cut_after <= report.cut_before);
         let mut bw = [0.0f64; 2];
@@ -253,6 +288,62 @@ mod tests {
             bw[b as usize] += w;
         }
         assert!(bw[0] <= 3.5 + 1e-12 && bw[1] <= 3.5 + 1e-12, "cap violated: {bw:?}");
+    }
+
+    #[test]
+    fn preserves_heterogeneous_balance_it_was_handed() {
+        // Regression: `allowed` used to come from the uniform average
+        // total/k, so a partition built for 2:1:1 capacities could legally
+        // be "rebalanced" past its heterogeneous bounds. Partition a mesh
+        // with fractions (0.5, 0.25, 0.25), then refine with the same
+        // targets: every block must stay within its own bound.
+        let mesh = geographer_mesh::delaunay_unit_square(1200, 8);
+        let fractions = vec![0.5, 0.25, 0.25];
+        let cfg = geographer::Config {
+            target_fractions: Some(fractions.clone()),
+            sampling_init: false,
+            ..geographer::Config::default()
+        };
+        let wp = geographer_geometry::WeightedPoints::new(
+            mesh.points.clone(),
+            mesh.weights.clone(),
+        );
+        let mut asg = geographer::partition(&wp, 3, &cfg).assignment.clone();
+        let rcfg = RefineConfig {
+            max_rounds: 20,
+            epsilon: cfg.epsilon,
+            target_fractions: Some(fractions.clone()),
+        };
+        let report = refine_partition(&mesh.graph, &mut asg, &mesh.weights, 3, &rcfg);
+        assert!(report.cut_after <= report.cut_before);
+        let total: f64 = mesh.weights.iter().sum();
+        let mut bw = vec![0.0f64; 3];
+        for (&b, &w) in asg.iter().zip(&mesh.weights) {
+            bw[b as usize] += w;
+        }
+        for (c, &frac) in fractions.iter().enumerate() {
+            let target = total * frac;
+            let allowed = ((1.0 + rcfg.epsilon) * target).max(target + 1.0);
+            assert!(
+                bw[c] <= allowed + 1e-9,
+                "block {c}: {} > its heterogeneous bound {allowed}",
+                bw[c]
+            );
+        }
+        // The deliberate skew really survives: block 0 stays ~2× block 1.
+        assert!(bw[0] > 1.7 * bw[1], "skew erased: {bw:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target_fractions length must equal k")]
+    fn wrong_fraction_length_rejected() {
+        let g = path(6);
+        let mut asg = vec![0u32; 6];
+        let cfg = RefineConfig {
+            target_fractions: Some(vec![0.5, 0.5]),
+            ..RefineConfig::default()
+        };
+        let _ = refine_partition(&g, &mut asg, &[1.0; 6], 3, &cfg);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct SpmvReport {
     pub compute_seconds_avg: f64,
     /// Payload bytes this rank sends per multiplication.
     pub bytes_sent_per_iter: u64,
+    /// The subset of [`Self::bytes_sent_per_iter`] that crosses a *node*
+    /// boundary when ranks are grouped onto nodes (see
+    /// [`spmv_comm_time_on_nodes`]). With the flat default of one rank per
+    /// node this equals `bytes_sent_per_iter`.
+    pub inter_node_bytes_per_iter: u64,
     /// Sum of the final result vector entries owned by this rank
     /// (determinism check; also keeps the compute from being optimized out).
     pub checksum: f64,
@@ -38,9 +43,25 @@ pub struct SpmvReport {
 
 /// Map block `b` of `k` to its owning rank among `p` (contiguous ranges;
 /// identity when `k == p`).
+///
+/// Contiguity is what makes this mapping *hierarchy-aware*: the
+/// hierarchical solver flattens leaf paths lexicographically, so sibling
+/// leaves have consecutive flat ids and land on consecutive ranks — with
+/// ranks grouped onto nodes in the same contiguous fashion
+/// ([`node_of_rank`]), a subtree of blocks stays inside one node.
 #[inline]
 pub fn owner_of_block(b: u32, k: usize, p: usize) -> usize {
     ((b as usize * p) / k).min(p - 1)
+}
+
+/// Node of rank `r` when `p` ranks are packed onto nodes of
+/// `ranks_per_node` consecutive ranks each (the contiguous rank→node
+/// mapping matching [`owner_of_block`]). `ranks_per_node = 1` is the flat
+/// machine: every rank is its own node and all cross-rank traffic is
+/// inter-node.
+#[inline]
+pub fn node_of_rank(r: usize, ranks_per_node: usize) -> usize {
+    r / ranks_per_node.max(1)
 }
 
 /// Run `reps` SpMV iterations on the partition `assignment` (block per
@@ -54,6 +75,30 @@ pub fn spmv_comm_time<C: Comm>(
     assignment: &[u32],
     k: usize,
     reps: usize,
+) -> SpmvReport {
+    spmv_comm_time_on_nodes(comm, g, assignment, k, reps, 1)
+}
+
+/// [`spmv_comm_time`] on a two-tier machine: ranks are packed onto nodes
+/// of `ranks_per_node` consecutive ranks, and the report additionally
+/// splits the sent bytes into intra-node and inter-node traffic
+/// (`inter_node_bytes_per_iter`). The exchange itself is identical — the
+/// grouping only drives the accounting, which the tiered α–β cost model
+/// in `geographer_bench` prices per link class.
+///
+/// Counting convention: bytes are per **destination rank** (what the
+/// wire carries — a value needed by two ranks of the same remote node is
+/// sent twice). The level-0 communication volume of
+/// `geographer_graph::evaluate_levels` instead deduplicates per
+/// destination *node*, so the two inter-node numbers for the same
+/// partition differ slightly; don't mix them in one comparison.
+pub fn spmv_comm_time_on_nodes<C: Comm>(
+    comm: &C,
+    g: &CsrGraph,
+    assignment: &[u32],
+    k: usize,
+    reps: usize,
+    ranks_per_node: usize,
 ) -> SpmvReport {
     assert_eq!(assignment.len(), g.n());
     assert!(reps >= 1);
@@ -105,6 +150,13 @@ pub fn spmv_comm_time<C: Comm>(
 
     let bytes_sent_per_iter: u64 =
         send_list.iter().map(|l| (l.len() * std::mem::size_of::<f64>()) as u64).sum();
+    let my_node = node_of_rank(me, ranks_per_node);
+    let inter_node_bytes_per_iter: u64 = send_list
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| node_of_rank(*r, ranks_per_node) != my_node)
+        .map(|(_, l)| (l.len() * std::mem::size_of::<f64>()) as u64)
+        .sum();
 
     // Distributed vector: x[v] for owned v, plus a ghost table.
     let mut x: Vec<f64> = owned.iter().map(|&v| 1.0 + (v % 7) as f64).collect();
@@ -154,6 +206,7 @@ pub fn spmv_comm_time<C: Comm>(
         comm_seconds_avg: comm_secs / reps as f64,
         compute_seconds_avg: compute_secs / reps as f64,
         bytes_sent_per_iter,
+        inter_node_bytes_per_iter,
         checksum: x.iter().sum(),
     }
 }
@@ -232,6 +285,44 @@ mod tests {
             .map(|r| r.bytes_sent_per_iter)
             .sum();
         assert!(bad_bytes > 10 * good_bytes, "{bad_bytes} vs {good_bytes}");
+    }
+
+    #[test]
+    fn flat_default_counts_everything_as_inter_node() {
+        let g = path_graph(40);
+        let asg: Vec<u32> = (0..40).map(|v| (v / 10) as u32).collect();
+        let reports = run_spmd(4, |c| spmv_comm_time(&c, &g, &asg, 4, 2));
+        for r in &reports {
+            assert_eq!(r.inter_node_bytes_per_iter, r.bytes_sent_per_iter);
+        }
+    }
+
+    #[test]
+    fn grouping_splits_bytes_by_tier() {
+        // Path of 40 in 4 contiguous blocks on 4 ranks; 2 ranks per node.
+        // Boundaries 0|1 and 2|3 are intra-node, 1|2 is inter-node.
+        let g = path_graph(40);
+        let asg: Vec<u32> = (0..40).map(|v| (v / 10) as u32).collect();
+        let reports = run_spmd(4, |c| spmv_comm_time_on_nodes(&c, &g, &asg, 4, 2, 2));
+        let total: u64 = reports.iter().map(|r| r.bytes_sent_per_iter).sum();
+        let inter: u64 = reports.iter().map(|r| r.inter_node_bytes_per_iter).sum();
+        // 3 cut boundaries, one vertex each way: 6 values total; only the
+        // middle boundary (2 values) crosses nodes.
+        assert_eq!(total, 6 * 8);
+        assert_eq!(inter, 2 * 8);
+        // All ranks on one node: nothing is inter-node.
+        let reports = run_spmd(4, |c| spmv_comm_time_on_nodes(&c, &g, &asg, 4, 2, 4));
+        assert!(reports.iter().all(|r| r.inter_node_bytes_per_iter == 0));
+        assert!(reports.iter().any(|r| r.bytes_sent_per_iter > 0));
+    }
+
+    #[test]
+    fn node_of_rank_is_contiguous() {
+        assert_eq!(node_of_rank(0, 2), 0);
+        assert_eq!(node_of_rank(1, 2), 0);
+        assert_eq!(node_of_rank(2, 2), 1);
+        // Degenerate ranks_per_node = 0 clamps to 1.
+        assert_eq!(node_of_rank(3, 0), 3);
     }
 
     #[test]
