@@ -1,0 +1,217 @@
+//! Multilevel-refinement benchmark: the single-level FM-style boundary
+//! pass vs the coarsen→refine→project V-cycle, at equal ε, on the
+//! clustered-bubbles and Delaunay mesh families, emitting
+//! `BENCH_multilevel.json` in the current directory. The committed copy is
+//! the repository's refinement baseline: cuts, moves, and level counts are
+//! deterministic; wall-clock fields are machine-dependent context, not a
+//! regression gate.
+//!
+//! The question the benchmark answers is the ISSUE 5 acceptance one: does
+//! the V-cycle reach a strictly lower edge cut than one flat boundary
+//! sweep from the *same* starting partition, at comparable wall time? Both
+//! refiners start from the identical tool output (the tools are
+//! deterministic with sampling off), so the comparison isolates the
+//! refinement algorithm.
+//!
+//! ```console
+//! $ cargo run --release -p geographer_bench --bin bench_multilevel
+//! $ cargo run --release -p geographer_bench --bin bench_multilevel -- --smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use geographer::Config;
+use geographer_bench::{run_tool, scaled, TextTable, Tool};
+use geographer_graph::imbalance;
+use geographer_mesh::{families::bubbles_like, delaunay_unit_square, Mesh};
+use geographer_refine::{
+    refine_multilevel, refine_partition, MultilevelConfig, RefineConfig,
+};
+
+struct Row {
+    mesh: &'static str,
+    tool: &'static str,
+    cut_initial: u64,
+    single_cut: u64,
+    single_moves: usize,
+    single_rounds: usize,
+    single_wall_s: f64,
+    multi_cut: u64,
+    multi_moves: usize,
+    multi_levels: usize,
+    multi_wall_s: f64,
+    imbalance_single: f64,
+    imbalance_multi: f64,
+    levels_json: String,
+}
+
+fn bench_one(
+    mesh_name: &'static str,
+    mesh: &Mesh<2>,
+    tool: Tool,
+    k: usize,
+    cfg: &Config,
+    rcfg: &RefineConfig,
+) -> Row {
+    let out = run_tool(tool, mesh, k, 2, cfg);
+
+    let mut single = out.assignment.clone();
+    let t = Instant::now();
+    let sr = refine_partition(&mesh.graph, &mut single, &mesh.weights, k, rcfg);
+    let single_wall_s = t.elapsed().as_secs_f64();
+
+    let mut multi = out.assignment.clone();
+    let mcfg = MultilevelConfig { refine: rcfg.clone(), ..MultilevelConfig::default() };
+    let t = Instant::now();
+    let mr = refine_multilevel(&mesh.graph, &mut multi, &mesh.weights, k, &mcfg);
+    let multi_wall_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(sr.cut_before, mr.cut_before, "both refiners start from the same partition");
+    let mut levels_json = String::new();
+    for (i, l) in mr.levels.iter().enumerate() {
+        let _ = write!(
+            levels_json,
+            "{}{{\"vertices\": {}, \"edges\": {}, \"cut_before\": {}, \"cut_after\": {}, \
+             \"moves\": {}, \"rounds\": {}}}",
+            if i > 0 { ", " } else { "" },
+            l.vertices,
+            l.edges,
+            l.cut_before,
+            l.cut_after,
+            l.moves,
+            l.rounds
+        );
+    }
+    Row {
+        mesh: mesh_name,
+        tool: tool.name(),
+        cut_initial: sr.cut_before,
+        single_cut: sr.cut_after,
+        single_moves: sr.moves,
+        single_rounds: sr.rounds,
+        single_wall_s,
+        multi_cut: mr.cut_after,
+        multi_moves: mr.moves,
+        multi_levels: mr.levels.len(),
+        multi_wall_s,
+        imbalance_single: imbalance(&single, &mesh.weights, k),
+        imbalance_multi: imbalance(&multi, &mesh.weights, k),
+        levels_json,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 6_000 } else { scaled(24_000) };
+    let k = 16;
+    let seed = 55;
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    let rcfg = RefineConfig::default();
+
+    let meshes: [(&'static str, Mesh<2>); 2] = [
+        ("bubbles-like", bubbles_like(n, seed)),
+        ("delaunay", delaunay_unit_square(n, seed + 1)),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, mesh) in &meshes {
+        for tool in [Tool::Hsfc, Tool::Geographer] {
+            rows.push(bench_one(name, mesh, tool, k, &cfg, &rcfg));
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "mesh", "tool", "cutInitial", "cutSingle", "cutMultilevel", "gainVsSingle%",
+        "levels", "wallSingle", "wallMultilevel", "imbMulti",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.mesh.to_string(),
+            r.tool.to_string(),
+            r.cut_initial.to_string(),
+            r.single_cut.to_string(),
+            r.multi_cut.to_string(),
+            format!(
+                "{:.2}",
+                100.0 * (r.single_cut as f64 - r.multi_cut as f64) / r.single_cut.max(1) as f64
+            ),
+            r.multi_levels.to_string(),
+            format!("{:.1}ms", r.single_wall_s * 1e3),
+            format!("{:.1}ms", r.multi_wall_s * 1e3),
+            format!("{:.4}", r.imbalance_multi),
+        ]);
+    }
+    eprint!("{}", table.render());
+
+    // The ISSUE 5 acceptance inequality: at equal ε, the V-cycle reaches a
+    // strictly lower cut than the single-level pass on both mesh families
+    // (HSFC rows — the wrinkled SFC boundaries have the most to recover),
+    // with balance intact.
+    for r in &rows {
+        assert!(
+            r.imbalance_multi <= rcfg.epsilon + 1e-9,
+            "{}/{}: multilevel imbalance {} above ε",
+            r.mesh,
+            r.tool,
+            r.imbalance_multi
+        );
+        if r.tool == "HSFC" {
+            assert!(
+                r.multi_cut < r.single_cut,
+                "{}/{}: multilevel cut {} must be strictly below single-level {}",
+                r.mesh,
+                r.tool,
+                r.multi_cut,
+                r.single_cut
+            );
+        }
+    }
+
+    let mut rows_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            rows_json,
+            "{}    {{\"mesh\": \"{}\", \"tool\": \"{}\", \"cut_initial\": {}, \
+             \"single\": {{\"cut_after\": {}, \"moves\": {}, \"rounds\": {}, \
+             \"wall_s\": {:.4}, \"imbalance\": {:.5}}},\n     \
+             \"multilevel\": {{\"cut_after\": {}, \"moves\": {}, \"levels\": {}, \
+             \"wall_s\": {:.4}, \"imbalance\": {:.5},\n      \
+             \"level_detail\": [{}]}}}}",
+            if i > 0 { ",\n" } else { "" },
+            r.mesh,
+            r.tool,
+            r.cut_initial,
+            r.single_cut,
+            r.single_moves,
+            r.single_rounds,
+            r.single_wall_s,
+            r.imbalance_single,
+            r.multi_cut,
+            r.multi_moves,
+            r.multi_levels,
+            r.multi_wall_s,
+            r.imbalance_multi,
+            r.levels_json
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"multilevel\",\n  \
+         \"meshes\": [\"bubbles_like\", \"delaunay_unit_square\"],\n  \
+         \"n\": {n}, \"seed\": {seed}, \"k\": {k}, \"epsilon\": {:.2},\n  \
+         \"coarsest_vertices\": {},\n  \
+         \"rows\": [\n{rows_json}\n  ]\n}}\n",
+        rcfg.epsilon,
+        MultilevelConfig::default().coarsest_vertices,
+    );
+    // Smoke runs (CI) must not clobber the committed full-scale baseline.
+    let path = if smoke {
+        std::fs::create_dir_all("target").expect("create target/");
+        "target/BENCH_multilevel.smoke.json"
+    } else {
+        "BENCH_multilevel.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("{json}");
+    println!("wrote {path}");
+}

@@ -21,7 +21,11 @@ fn main() {
     ]);
     // The refinement post-pass is a driver-level opt-in: flag it on the run
     // config and every tool row carries its before/after cut.
-    let rc = RunConfig { core: Config::default(), refine: Some(RefineConfig::default()) };
+    let rc = RunConfig {
+        core: Config::default(),
+        refine: Some(RefineConfig::default()),
+        ..RunConfig::default()
+    };
     for (name, mesh) in &meshes {
         for tool in Tool::ALL {
             let out = run_tool_configured(tool, mesh, k, 2, &rc);

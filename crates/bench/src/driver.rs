@@ -7,11 +7,14 @@ use geographer::{repartition_spmd, Config, PreviousPartition};
 use geographer_baselines::Baseline;
 use geographer_geometry::Point;
 use geographer_graph::{
-    evaluate_partition, imbalance, relabel_free_migration, PartitionMetrics,
+    evaluate_partition_with_targets, imbalance, relabel_free_migration, PartitionMetrics,
 };
 use geographer_mesh::{DynamicWorkload, Mesh};
 use geographer_parcomm::{run_spmd, Comm, CommStats};
-use geographer_refine::{refine_partition, RefineConfig, RefineReport};
+use geographer_refine::{
+    refine_multilevel, refine_partition, MultilevelConfig, MultilevelReport, RefineConfig,
+    RefineReport,
+};
 use geographer_spmv::{spmv_comm_time, SpmvReport};
 
 /// The five evaluated tools, in the paper's presentation order
@@ -84,8 +87,36 @@ pub struct RunOutcome {
     /// Number of ranks used.
     pub ranks: usize,
     /// Report of the FM-style refinement post-pass, when it ran
-    /// ([`RunConfig::refine`]): edge cut before/after and move counts.
+    /// ([`RunConfig::refine`]): edge cut before/after and move counts
+    /// (the multilevel mode's summary when [`RunConfig::refine_mode`] is
+    /// [`RefineMode::Multilevel`]).
     pub refine: Option<RefineReport>,
+    /// Which refinement mode produced [`RunOutcome::refine`].
+    pub refine_mode: RefineMode,
+    /// Full per-level report when the multilevel V-cycle ran.
+    pub multilevel: Option<MultilevelReport>,
+}
+
+/// Which refinement algorithm the opt-in post-pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineMode {
+    /// One flat boundary-sweep pass ([`refine_partition`]).
+    #[default]
+    Single,
+    /// The multilevel coarsen→refine→project V-cycle
+    /// ([`refine_multilevel`]) — strictly deeper refinement at comparable
+    /// cost on large meshes.
+    Multilevel,
+}
+
+impl RefineMode {
+    /// Display name for benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefineMode::Single => "single",
+            RefineMode::Multilevel => "multilevel",
+        }
+    }
 }
 
 /// Full configuration of one driver run: the solver configuration plus the
@@ -99,12 +130,15 @@ pub struct RunConfig {
     /// finished assignment and the before/after edge cut is reported in
     /// [`RunOutcome::refine`] / [`ToolRow::refine`].
     pub refine: Option<RefineConfig>,
+    /// Which refinement algorithm the post-pass uses (ignored when
+    /// [`RunConfig::refine`] is `None`).
+    pub refine_mode: RefineMode,
 }
 
 impl RunConfig {
     /// Plain run of a solver configuration, no post-passes.
     pub fn new(core: Config) -> Self {
-        RunConfig { core, refine: None }
+        RunConfig { core, refine: None, refine_mode: RefineMode::Single }
     }
 }
 
@@ -145,12 +179,40 @@ pub fn run_tool_configured<const D: usize>(
     let comm = results[0].1;
     let mut assignment: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
     assert_eq!(assignment.len(), n);
-    let refine = rc
-        .refine
-        .as_ref()
-        .map(|rcfg| refine_partition(&mesh.graph, &mut assignment, &mesh.weights, k, rcfg));
+    let mut multilevel = None;
+    let refine = rc.refine.as_ref().map(|rcfg| {
+        // A heterogeneous solve must be refined against its own targets:
+        // when the refine config leaves target_fractions unset, inherit
+        // the solver's — otherwise the post-pass would legally "rebalance"
+        // a deliberately skewed partition toward uniform.
+        let mut rcfg = rcfg.clone();
+        if rcfg.target_fractions.is_none() {
+            rcfg.target_fractions = rc.core.target_fractions.clone();
+        }
+        match rc.refine_mode {
+            RefineMode::Single => {
+                refine_partition(&mesh.graph, &mut assignment, &mesh.weights, k, &rcfg)
+            }
+            RefineMode::Multilevel => {
+                let mcfg = MultilevelConfig { refine: rcfg, ..MultilevelConfig::default() };
+                let report =
+                    refine_multilevel(&mesh.graph, &mut assignment, &mesh.weights, k, &mcfg);
+                let summary = report.summary();
+                multilevel = Some(report);
+                summary
+            }
+        }
+    });
     let wall_seconds = t.elapsed().as_secs_f64();
-    RunOutcome { assignment, wall_seconds, comm, ranks: p, refine }
+    RunOutcome {
+        assignment,
+        wall_seconds,
+        comm,
+        ranks: p,
+        refine,
+        refine_mode: rc.refine_mode,
+        multilevel,
+    }
 }
 
 /// How a tool is restarted on each step of a time-stepped workload.
@@ -306,6 +368,11 @@ pub struct ToolRow {
     pub spmv_bytes: u64,
     /// Refinement post-pass report, forwarded from [`RunOutcome::refine`].
     pub refine: Option<RefineReport>,
+    /// Refinement mode that produced [`ToolRow::refine`].
+    pub refine_mode: RefineMode,
+    /// Per-level multilevel report, forwarded from
+    /// [`RunOutcome::multilevel`].
+    pub multilevel: Option<MultilevelReport>,
 }
 
 /// Aggregate per-rank SpMV reports into the row scalars: slowest-rank
@@ -318,6 +385,9 @@ pub fn aggregate_spmv(reports: &[SpmvReport]) -> (f64, u64) {
 
 /// Evaluate a finished run: graph metrics + the empirical SpMV benchmark
 /// (Sec. 2 "to measure the quality of a partition empirically ...").
+/// Imbalance is measured against uniform targets; runs solved with
+/// heterogeneous `target_fractions` should use
+/// [`evaluate_run_with_targets`] so the row's imbalance is target-aware.
 pub fn evaluate_run<const D: usize>(
     tool: Tool,
     mesh: &Mesh<D>,
@@ -325,7 +395,28 @@ pub fn evaluate_run<const D: usize>(
     k: usize,
     spmv_reps: usize,
 ) -> ToolRow {
-    let metrics = evaluate_partition(&mesh.graph, &outcome.assignment, &mesh.weights, k);
+    evaluate_run_with_targets(tool, mesh, outcome, k, spmv_reps, None)
+}
+
+/// [`evaluate_run`] with the solve's per-block target fractions threaded
+/// into the imbalance metric (`geographer_graph::imbalance_with_targets`):
+/// a deliberately skewed solve that hits its targets reads as balanced
+/// instead of wildly imbalanced.
+pub fn evaluate_run_with_targets<const D: usize>(
+    tool: Tool,
+    mesh: &Mesh<D>,
+    outcome: &RunOutcome,
+    k: usize,
+    spmv_reps: usize,
+    target_fractions: Option<&[f64]>,
+) -> ToolRow {
+    let metrics = evaluate_partition_with_targets(
+        &mesh.graph,
+        &outcome.assignment,
+        &mesh.weights,
+        k,
+        target_fractions,
+    );
     // Run the SpMV with min(k, 8) ranks: enough to exercise real exchange
     // without massive thread oversubscription on the 1-core box.
     let p = k.clamp(1, 8);
@@ -338,6 +429,8 @@ pub fn evaluate_run<const D: usize>(
         spmv_comm_seconds,
         spmv_bytes,
         refine: outcome.refine,
+        refine_mode: outcome.refine_mode,
+        multilevel: outcome.multilevel.clone(),
     }
 }
 
@@ -420,6 +513,7 @@ mod tests {
         let rc = RunConfig {
             core: Config::default(),
             refine: Some(geographer_refine::RefineConfig::default()),
+            refine_mode: RefineMode::Single,
         };
         let refined = run_tool_configured(Tool::Hsfc, &mesh, k, 2, &rc);
         let report = refined.refine.expect("post-pass must report");
@@ -440,6 +534,120 @@ mod tests {
         assert_eq!(row.metrics.edge_cut, report.cut_after);
         // Balance survives refinement.
         assert!(row.metrics.imbalance <= 0.06);
+    }
+
+    #[test]
+    fn multilevel_post_pass_reaches_a_lower_cut() {
+        // The RunConfig refine-mode switch: same tool, same mesh, same ε —
+        // the multilevel V-cycle must reach a cut no worse than the
+        // single-level pass, and the row must carry mode + level reports.
+        let mesh = delaunay_unit_square(3_000, 13);
+        let k = 8;
+        let base = Config { sampling_init: false, ..Config::default() };
+        let single = run_tool_configured(
+            Tool::Hsfc,
+            &mesh,
+            k,
+            2,
+            &RunConfig {
+                core: base.clone(),
+                refine: Some(RefineConfig::default()),
+                refine_mode: RefineMode::Single,
+            },
+        );
+        let multi = run_tool_configured(
+            Tool::Hsfc,
+            &mesh,
+            k,
+            2,
+            &RunConfig {
+                core: base,
+                refine: Some(RefineConfig::default()),
+                refine_mode: RefineMode::Multilevel,
+            },
+        );
+        let sr = single.refine.unwrap();
+        let mr = multi.refine.unwrap();
+        assert_eq!(sr.cut_before, mr.cut_before, "same tool output, same start");
+        assert!(mr.cut_after <= sr.cut_after, "multilevel must not be worse");
+        assert!(single.multilevel.is_none());
+        let ml = multi.multilevel.as_ref().unwrap();
+        assert_eq!(ml.summary(), mr);
+        let row = evaluate_run(Tool::Hsfc, &mesh, &multi, k, 1);
+        assert_eq!(row.refine_mode, RefineMode::Multilevel);
+        assert_eq!(row.refine_mode.name(), "multilevel");
+        assert_eq!(row.multilevel.as_ref().unwrap().cut_after, mr.cut_after);
+        assert_eq!(row.metrics.edge_cut, mr.cut_after);
+    }
+
+    #[test]
+    fn skewed_solve_reads_balanced_with_targets() {
+        // Regression for the imbalance semantics (DESIGN.md §7 erratum b):
+        // a deliberately skewed solve measured with evaluate_run used to
+        // report max/avg − 1 against the uniform average — hugely
+        // "imbalanced" even when every block exactly hit its target.
+        let mesh = delaunay_unit_square(1_500, 21);
+        let fractions = vec![0.5, 0.25, 0.25];
+        let cfg = Config {
+            target_fractions: Some(fractions.clone()),
+            sampling_init: false,
+            ..Config::default()
+        };
+        let out = run_tool(Tool::Geographer, &mesh, 3, 2, &cfg);
+        let uniform = evaluate_run(Tool::Geographer, &mesh, &out, 3, 1);
+        let aware =
+            evaluate_run_with_targets(Tool::Geographer, &mesh, &out, 3, 1, Some(&fractions));
+        assert!(
+            uniform.metrics.imbalance > 0.3,
+            "uniform metric must expose the skew: {}",
+            uniform.metrics.imbalance
+        );
+        assert!(
+            aware.metrics.imbalance <= cfg.epsilon + 1e-3,
+            "target-aware imbalance must be within ε: {}",
+            aware.metrics.imbalance
+        );
+        // Everything else on the row is unaffected by the target change.
+        assert_eq!(uniform.metrics.edge_cut, aware.metrics.edge_cut);
+        assert_eq!(uniform.metrics.comm_volume, aware.metrics.comm_volume);
+    }
+
+    #[test]
+    fn refine_post_pass_inherits_heterogeneous_targets() {
+        // Regression: the post-pass used to build its balance capacities
+        // solely from RefineConfig, so a heterogeneous solve refined with
+        // a default RefineConfig was legally "rebalanced" toward uniform.
+        // The driver now inherits core.target_fractions when the refine
+        // config leaves them unset.
+        let mesh = delaunay_unit_square(2_000, 31);
+        let fractions = vec![0.5, 0.25, 0.25];
+        let core = Config {
+            target_fractions: Some(fractions.clone()),
+            sampling_init: false,
+            ..Config::default()
+        };
+        for mode in [RefineMode::Single, RefineMode::Multilevel] {
+            let rc = RunConfig {
+                core: core.clone(),
+                refine: Some(RefineConfig { max_rounds: 30, ..RefineConfig::default() }),
+                refine_mode: mode,
+            };
+            let out = run_tool_configured(Tool::Geographer, &mesh, 3, 2, &rc);
+            let row = evaluate_run_with_targets(
+                Tool::Geographer,
+                &mesh,
+                &out,
+                3,
+                1,
+                Some(&fractions),
+            );
+            assert!(
+                row.metrics.imbalance <= core.epsilon + 1e-3,
+                "{}: refined skewed solve must stay on target, got {}",
+                mode.name(),
+                row.metrics.imbalance
+            );
+        }
     }
 
     #[test]

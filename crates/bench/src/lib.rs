@@ -12,8 +12,9 @@ pub mod table;
 
 pub use cost::{CostModel, TieredCostModel};
 pub use driver::{
-    aggregate_spmv, evaluate_run, run_tool, run_tool_configured, run_tool_repartition,
-    RepartitionMode, RepartitionStep, RunConfig, RunOutcome, Tool, ToolRow,
+    aggregate_spmv, evaluate_run, evaluate_run_with_targets, run_tool, run_tool_configured,
+    run_tool_repartition, RefineMode, RepartitionMode, RepartitionStep, RunConfig,
+    RunOutcome, Tool, ToolRow,
 };
 pub use table::TextTable;
 

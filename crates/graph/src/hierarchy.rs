@@ -43,7 +43,9 @@ pub fn coarsen_assignment(assignment: &[u32], group_of_block: &[u32]) -> Vec<u32
 /// by [`crate::evaluate_partition`] (which adds the diameter pass) and
 /// [`evaluate_levels`].
 pub(crate) fn cut_and_volume(g: &CsrGraph, assignment: &[u32], groups: usize) -> LevelMetrics {
-    let mut edge_cut = 0u64;
+    // The cut itself comes from the shared weighted core (unweighted fast
+    // path) — one implementation for every cut this workspace reports.
+    let edge_cut = crate::cut::edge_cut_core(&g.xadj, &g.adj, None, assignment);
     let mut comm_volume = vec![0u64; groups];
     let mut seen: Vec<u32> = Vec::with_capacity(16);
     for v in 0..g.n() as u32 {
@@ -51,13 +53,8 @@ pub(crate) fn cut_and_volume(g: &CsrGraph, assignment: &[u32], groups: usize) ->
         seen.clear();
         for &u in g.neighbors(v) {
             let bu = assignment[u as usize];
-            if bu != bv {
-                if v < u {
-                    edge_cut += 1;
-                }
-                if !seen.contains(&bu) {
-                    seen.push(bu);
-                }
+            if bu != bv && !seen.contains(&bu) {
+                seen.push(bu);
             }
         }
         comm_volume[bv as usize] += seen.len() as u64;

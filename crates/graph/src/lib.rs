@@ -10,16 +10,23 @@
 // iterator-zip rewrites of those loops are less readable, not more.
 #![allow(clippy::needless_range_loop)]
 
+pub mod coarsen;
 pub mod csr;
+pub mod cut;
 pub mod hierarchy;
 pub mod metrics;
 pub mod migration;
 pub mod traversal;
 
+pub use coarsen::{
+    contract, edge_cut_weighted, heavy_edge_matching, Contraction, WeightedCsrGraph,
+};
 pub use csr::CsrGraph;
+pub use cut::{edge_cut, edge_cut_core};
 pub use hierarchy::{coarsen_assignment, evaluate_levels, LevelMetrics};
 pub use metrics::{
-    evaluate_partition, geometric_mean, harmonic_mean_diameter, imbalance, PartitionMetrics,
+    evaluate_partition, evaluate_partition_with_targets, geometric_mean,
+    harmonic_mean_diameter, imbalance, imbalance_with_targets, PartitionMetrics,
 };
 pub use migration::{migration, relabel_free_migration, MigrationMetrics};
 pub use traversal::{bfs_distances, connected_components, diameter_lower_bound};

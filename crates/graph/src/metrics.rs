@@ -8,7 +8,9 @@
 //!   the number of boundary values Vi must send in an SpMV;
 //! * diameter of a block — iFUB-style lower bound on the induced subgraph,
 //!   infinite (None) if a block is disconnected;
-//! * imbalance — `max_i w(Vi) / ⌈w(V)/k⌉ − 1`.
+//! * imbalance — `max_i w(Vi) / target_i − 1`, with `target_i = w(V)/k`
+//!   uniformly or `w(V)·f_i` under heterogeneous target fractions (see
+//!   [`imbalance_with_targets`] and DESIGN.md §7 erratum b).
 
 use rayon::prelude::*;
 
@@ -32,14 +34,41 @@ pub struct PartitionMetrics {
     pub diameters: Vec<Option<u32>>,
     /// Harmonic mean of block diameters (see [`harmonic_mean_diameter`]).
     pub harmonic_diameter: f64,
-    /// Weighted imbalance `max_i w(Vi)/(w(V)/k) − 1`.
+    /// Target-aware weighted imbalance `max_i w(Vi)/target_i − 1`
+    /// (uniform targets unless the metrics were computed through
+    /// [`evaluate_partition_with_targets`]).
     pub imbalance: f64,
 }
 
-/// Weighted imbalance of an assignment: `max_i w(Vi) / (w(V)/k) − 1`.
-/// Zero means perfectly balanced; the balance constraint of the paper is
-/// `imbalance ≤ ε`.
+/// Weighted imbalance of an assignment against uniform targets:
+/// `max_i w(Vi) / (w(V)/k) − 1`. Zero means perfectly balanced; the
+/// balance constraint of the paper is `imbalance ≤ ε`. For partitions
+/// solved with heterogeneous `target_fractions`, use
+/// [`imbalance_with_targets`] — measuring those against the uniform
+/// average reports a deliberate skew as imbalance.
 pub fn imbalance(assignment: &[u32], weights: &[f64], k: usize) -> f64 {
+    imbalance_with_targets(assignment, weights, k, None)
+}
+
+/// Target-aware weighted imbalance: `max_i w(Vi) / target_i − 1` with
+/// `target_i = w(V) · f_i` and `f` the normalized `target_fractions`
+/// (`None` = uniform `1/k`, reproducing [`imbalance`]).
+///
+/// A partition that exactly hits heterogeneous targets reports 0 here,
+/// while the uniform form would report `max_i f_i · k − 1` — e.g. a
+/// perfect (0.5, 0.25, 0.25) solve would read as 50 % "imbalanced".
+/// Regression-tested against a deliberately skewed solve in
+/// `tests/multilevel_props.rs`; see DESIGN.md §7 erratum b.
+///
+/// # Panics
+/// If `target_fractions` is `Some` with length ≠ k or non-positive
+/// entries.
+pub fn imbalance_with_targets(
+    assignment: &[u32],
+    weights: &[f64],
+    k: usize,
+    target_fractions: Option<&[f64]>,
+) -> f64 {
     assert_eq!(assignment.len(), weights.len());
     assert!(k > 0);
     let mut block_w = vec![0.0; k];
@@ -50,9 +79,26 @@ pub fn imbalance(assignment: &[u32], weights: &[f64], k: usize) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let avg = total / k as f64;
-    let max = block_w.iter().copied().fold(0.0, f64::max);
-    max / avg - 1.0
+    match target_fractions {
+        None => {
+            let avg = total / k as f64;
+            block_w.iter().copied().fold(0.0, f64::max) / avg - 1.0
+        }
+        Some(f) => {
+            assert_eq!(f.len(), k, "target_fractions length must equal k");
+            assert!(
+                f.iter().all(|x| x.is_finite() && *x > 0.0),
+                "target_fractions must be positive"
+            );
+            let sum: f64 = f.iter().sum();
+            block_w
+                .iter()
+                .zip(f)
+                .map(|(&w, &frac)| w / (total * frac / sum))
+                .fold(0.0, f64::max)
+                - 1.0
+        }
+    }
 }
 
 /// Geometric mean of strictly positive values (the paper's aggregation for
@@ -74,12 +120,19 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// paper's workaround: "In some cases, blocks are disconnected and thus
 /// have an infinite diameter. To avoid a potentially infinite mean
 /// diameter, we use the harmonic instead of the geometric mean."
+///
+/// A diameter of 0 (a singleton block — the most compact a block can be)
+/// is clamped to 1 so it contributes a *finite* reciprocal. Until PR 5 it
+/// was lumped with `None` and contributed 0, so an all-singletons
+/// partition reported an **infinite** mean diameter — the opposite of
+/// what it is (DESIGN.md §7 erratum a).
 pub fn harmonic_mean_diameter(diameters: &[Option<u32>]) -> f64 {
     assert!(!diameters.is_empty());
     let recip_sum: f64 = diameters
         .iter()
         .map(|d| match d {
-            Some(0) | None => 0.0,
+            None => 0.0,
+            Some(0) => 1.0, // singleton block: clamp diameter to 1
             Some(d) => 1.0 / *d as f64,
         })
         .sum();
@@ -95,11 +148,28 @@ pub fn harmonic_mean_diameter(diameters: &[Option<u32>]) -> f64 {
 /// `weights` are the node weights used for the balance constraint (pass all
 /// ones for the unweighted case). Diameters are computed per block in
 /// parallel — they dominate the evaluation cost on larger instances.
+///
+/// The reported imbalance measures against uniform `w(V)/k` targets; for
+/// partitions solved with heterogeneous `target_fractions` use
+/// [`evaluate_partition_with_targets`].
 pub fn evaluate_partition(
     g: &CsrGraph,
     assignment: &[u32],
     weights: &[f64],
     k: usize,
+) -> PartitionMetrics {
+    evaluate_partition_with_targets(g, assignment, weights, k, None)
+}
+
+/// [`evaluate_partition`] with the partition's per-block target fractions:
+/// the reported imbalance is [`imbalance_with_targets`], so a solve that
+/// hits its heterogeneous targets reads as balanced instead of skewed.
+pub fn evaluate_partition_with_targets(
+    g: &CsrGraph,
+    assignment: &[u32],
+    weights: &[f64],
+    k: usize,
+    target_fractions: Option<&[f64]>,
 ) -> PartitionMetrics {
     assert_eq!(assignment.len(), g.n());
     assert_eq!(weights.len(), g.n());
@@ -140,7 +210,7 @@ pub fn evaluate_partition(
         total_comm_volume,
         diameters,
         harmonic_diameter,
-        imbalance: imbalance(assignment, weights, k),
+        imbalance: imbalance_with_targets(assignment, weights, k, target_fractions),
     }
 }
 
@@ -225,10 +295,55 @@ mod tests {
     fn harmonic_mean_all_infinite() {
         assert!(harmonic_mean_diameter(&[None, None]).is_infinite());
         assert!((harmonic_mean_diameter(&[Some(2), Some(2)]) - 2.0).abs() < 1e-12);
-        // Zero-diameter blocks (singletons) are treated like infinite —
-        // they contribute nothing to the reciprocal sum.
+    }
+
+    #[test]
+    fn singleton_diameters_are_finite_not_infinite() {
+        // Regression (DESIGN.md §7 erratum a): Some(0) used to be lumped
+        // with None and contribute 0 to the reciprocal sum, so an
+        // all-singletons partition — the most compact possible — reported
+        // an *infinite* mean diameter. A singleton clamps to diameter 1.
+        let hm = harmonic_mean_diameter(&[Some(0), Some(0)]);
+        assert!(hm.is_finite(), "all-singleton partition must be finite");
+        assert!((hm - 1.0).abs() < 1e-12);
+        // Mixed: recip sum = 1 + 1/4, mean = 2 / 1.25 = 1.6 (pre-fix: 8).
         let hm = harmonic_mean_diameter(&[Some(0), Some(4)]);
-        assert!((hm - 8.0).abs() < 1e-12);
+        assert!((hm - 1.6).abs() < 1e-12);
+        // Disconnected blocks still absorb into the mean as infinite.
+        assert!(harmonic_mean_diameter(&[None, Some(0)]).is_finite());
+        // End-to-end: a partition of isolated-singleton blocks.
+        let g = CsrGraph::from_edges(3, &[]);
+        let m = evaluate_partition(&g, &[0, 1, 2], &[1.0; 3], 3);
+        assert_eq!(m.diameters, vec![Some(0), Some(0), Some(0)]);
+        assert!(
+            m.harmonic_diameter.is_finite(),
+            "singletons are maximally compact, not disconnected"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_targets_read_as_balanced() {
+        // Regression (DESIGN.md §7 erratum b): a partition that exactly
+        // hits (0.5, 0.25, 0.25) targets used to report max/avg − 1 = 50 %
+        // imbalance against the uniform average. Target-aware it is 0.
+        let asg = vec![0, 0, 1, 2];
+        let w = vec![1.0; 4];
+        let fr = [0.5, 0.25, 0.25];
+        assert!((imbalance(&asg, &w, 3) - 0.5).abs() < 1e-12, "uniform form sees the skew");
+        let ti = imbalance_with_targets(&asg, &w, 3, Some(&fr));
+        assert!(ti.abs() < 1e-12, "target-aware form must be 0, got {ti}");
+        // Unnormalized fractions are normalized.
+        let ti = imbalance_with_targets(&asg, &w, 3, Some(&[2.0, 1.0, 1.0]));
+        assert!(ti.abs() < 1e-12);
+        // None reproduces the uniform form exactly.
+        assert_eq!(imbalance_with_targets(&asg, &w, 3, None), imbalance(&asg, &w, 3));
+        // Overfull vs its own target is reported: block 1 at 2/1 = +100 %.
+        let ti = imbalance_with_targets(&[0, 0, 1, 1], &w, 3, Some(&fr));
+        assert!((ti - 1.0).abs() < 1e-12);
+        // Threaded through evaluate_partition_with_targets.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = evaluate_partition_with_targets(&g, &asg, &w, 3, Some(&fr));
+        assert!(m.imbalance.abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Properties of the multilevel coarsening subsystem (ISSUE 5): matching
+//! validity, exact weight conservation under contraction, the
+//! coarse-cut = projected-fine-cut invariant the V-cycle rests on, the
+//! single-core edge-cut cross-check, and the committed acceptance
+//! inequality (multilevel strictly below single-level at equal ε on two
+//! mesh families).
+
+use geographer::Config;
+use geographer_bench::{run_tool, Tool};
+use geographer_graph::coarsen::{contract, heavy_edge_matching, WeightedCsrGraph};
+use geographer_graph::{evaluate_partition, CsrGraph};
+use geographer_mesh::{delaunay_unit_square, families::bubbles_like};
+use geographer_refine::{
+    refine_multilevel, refine_partition, MultilevelConfig, RefineConfig,
+};
+use proptest::prelude::*;
+
+/// Random sparse graph + integer-valued vertex weights (exactly
+/// representable, so weight conservation can be asserted with `==`),
+/// built from plain sampled values (the vendored proptest shim has no
+/// `prop_flat_map`).
+fn build_weighted_graph(
+    n: usize,
+    raw: &[(u32, u32)],
+    wseed: u64,
+) -> (WeightedCsrGraph, CsrGraph) {
+    let edges: Vec<(u32, u32)> =
+        raw.iter().map(|&(a, b)| (a % n as u32, b % n as u32)).collect();
+    let g = CsrGraph::from_edges(n, &edges);
+    let mut rng = geographer_geometry::SplitMix64::new(wseed ^ 0x9E37_79B9);
+    let vwgt: Vec<f64> = (0..n).map(|_| (1 + rng.next_u64() % 5) as f64).collect();
+    (WeightedCsrGraph::from_csr(&g, vwgt), g)
+}
+
+/// Strategy for the raw ingredients of [`build_weighted_graph`].
+fn arb_graph_parts() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, u64)> {
+    (
+        2usize..80,
+        prop::collection::vec((0u32..1000, 0u32..1000), 0..240),
+        0u64..1_000_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The heavy-edge matching is a valid matching: an involution in which
+    /// every matched pair is an existing edge, and (when labels are given)
+    /// never crosses a label boundary.
+    #[test]
+    fn matching_is_valid(gen in arb_graph_parts(), lseed in 0u32..5) {
+        let (wg, _g) = build_weighted_graph(gen.0, &gen.1, gen.2);
+        let labels: Vec<u32> = (0..wg.n() as u32).map(|v| (v.wrapping_mul(2654435761) ^ lseed) % (lseed + 2)).collect();
+        for lab in [None, Some(&labels[..])] {
+            let mate = heavy_edge_matching(&wg, lab);
+            prop_assert_eq!(mate.len(), wg.n());
+            for v in 0..wg.n() as u32 {
+                let m = mate[v as usize];
+                // Matched at most once: involution.
+                prop_assert_eq!(mate[m as usize], v, "not an involution at {}", v);
+                if m != v {
+                    // Only across existing edges.
+                    prop_assert!(
+                        wg.neighbors(v).binary_search(&m).is_ok(),
+                        "{}-{} matched without an edge", v, m
+                    );
+                    if let Some(l) = lab {
+                        prop_assert_eq!(l[v as usize], l[m as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Contraction conserves total vertex weight exactly (integer-valued
+    /// weights: float addition is exact, so `==`, not a tolerance).
+    #[test]
+    fn contraction_preserves_total_weight(gen in arb_graph_parts()) {
+        let (wg, _g) = build_weighted_graph(gen.0, &gen.1, gen.2);
+        let mate = heavy_edge_matching(&wg, None);
+        let c = contract(&wg, &mate);
+        prop_assert_eq!(c.coarse.total_vertex_weight(), wg.total_vertex_weight());
+        // And per fine vertex: its coarse vertex covers exactly its pair.
+        prop_assert_eq!(c.coarse_of_fine.len(), wg.n());
+        let mut covered = vec![0.0f64; c.coarse.n()];
+        for (v, &cv) in c.coarse_of_fine.iter().enumerate() {
+            covered[cv as usize] += wg.vwgt[v];
+        }
+        prop_assert_eq!(covered, c.coarse.vwgt.clone());
+    }
+
+    /// The V-cycle invariant: for ANY coarse assignment, the weighted cut
+    /// of the coarse graph equals the weighted cut of its projection onto
+    /// the fine graph (here the fine graph has unit edge weights, so the
+    /// projected weighted cut is the plain fine edge cut).
+    #[test]
+    fn coarse_cut_equals_projected_fine_cut(gen in arb_graph_parts(), kseed in 1u32..7) {
+        let (wg, g) = build_weighted_graph(gen.0, &gen.1, gen.2);
+        let mate = heavy_edge_matching(&wg, None);
+        let c = contract(&wg, &mate);
+        // Pseudo-random coarse assignment with kseed+1 blocks.
+        let casg: Vec<u32> = (0..c.coarse.n() as u32)
+            .map(|v| v.wrapping_mul(2246822519).wrapping_add(kseed) % (kseed + 1))
+            .collect();
+        let fine_asg = c.project(&casg);
+        prop_assert_eq!(c.coarse.edge_cut(&casg), wg.edge_cut(&fine_asg));
+        prop_assert_eq!(wg.edge_cut(&fine_asg), geographer_graph::edge_cut(&g, &fine_asg));
+    }
+
+    /// The three historical edge-cut implementations (refine's, the
+    /// metric core's, and the weighted variant on unit weights) now sit on
+    /// one core and must agree everywhere.
+    #[test]
+    fn edge_cut_implementations_agree(gen in arb_graph_parts(), k in 1u32..6) {
+        let (wg, g) = build_weighted_graph(gen.0, &gen.1, gen.2);
+        let asg: Vec<u32> = (0..g.n() as u32).map(|v| v.wrapping_mul(40503) % k).collect();
+        let from_refine = geographer_refine::edge_cut(&g, &asg);
+        let from_graph = geographer_graph::edge_cut(&g, &asg);
+        let from_weighted = wg.edge_cut(&asg); // unit edge weights
+        let from_metrics = evaluate_partition(&g, &asg, &wg.vwgt, k as usize).edge_cut;
+        prop_assert_eq!(from_refine, from_graph);
+        prop_assert_eq!(from_graph, from_weighted);
+        prop_assert_eq!(from_weighted, from_metrics);
+    }
+}
+
+/// The committed ISSUE 5 acceptance: on two benchmark mesh families, the
+/// multilevel V-cycle reaches a strictly lower edge cut than the
+/// single-level pass from the same HSFC partition at equal ε, with
+/// balance within the feasibility floor.
+#[test]
+fn multilevel_beats_single_level_on_two_mesh_families() {
+    let n = 6_000;
+    let k = 16usize;
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    let rcfg = RefineConfig::default();
+    for (name, mesh) in [
+        ("bubbles-like", bubbles_like(n, 55)),
+        ("delaunay", delaunay_unit_square(n, 56)),
+    ] {
+        let out = run_tool(Tool::Hsfc, &mesh, k, 2, &cfg);
+        let mut single = out.assignment.clone();
+        let sr = refine_partition(&mesh.graph, &mut single, &mesh.weights, k, &rcfg);
+        let mut multi = out.assignment.clone();
+        let mr = refine_multilevel(
+            &mesh.graph,
+            &mut multi,
+            &mesh.weights,
+            k,
+            &MultilevelConfig { refine: rcfg.clone(), ..MultilevelConfig::default() },
+        );
+        assert_eq!(sr.cut_before, mr.cut_before, "{name}: same starting partition");
+        assert!(
+            mr.cut_after < sr.cut_after,
+            "{name}: multilevel {} must be strictly below single-level {}",
+            mr.cut_after,
+            sr.cut_after
+        );
+        // Balance within the floor, measured with the (fixed) metric.
+        let total: f64 = mesh.weights.iter().sum();
+        let floor = ((1.0 + rcfg.epsilon) * total / k as f64).max(total / k as f64 + 1.0);
+        let mut bw = vec![0.0f64; k];
+        for (&b, &w) in multi.iter().zip(&mesh.weights) {
+            bw[b as usize] += w;
+        }
+        for (b, &w) in bw.iter().enumerate() {
+            assert!(w <= floor + 1e-9, "{name}: block {b} weight {w} > floor {floor}");
+        }
+    }
+}
+
+/// Thread-count independence: the matching, contraction, and full V-cycle
+/// are pure functions of the input (CI re-runs the suite with
+/// `RAYON_NUM_THREADS=1`; this test gives the double run real coverage
+/// over the parallel contraction path).
+#[test]
+fn multilevel_is_deterministic() {
+    let mesh = delaunay_unit_square(4_000, 77);
+    let k = 8usize;
+    let init: Vec<u32> = (0..4_000u32).map(|v| v % k as u32).collect();
+    let run = || {
+        let mut asg = init.clone();
+        let r = refine_multilevel(
+            &mesh.graph,
+            &mut asg,
+            &mesh.weights,
+            k,
+            &MultilevelConfig { coarsest_vertices: 500, ..MultilevelConfig::default() },
+        );
+        (asg, r)
+    };
+    let (a1, r1) = run();
+    let (a2, r2) = run();
+    assert_eq!(a1, a2, "V-cycle must be bitwise deterministic");
+    assert_eq!(r1, r2);
+}
