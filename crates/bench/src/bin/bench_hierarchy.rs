@@ -21,13 +21,12 @@
 
 use std::fmt::Write as _;
 
-use geographer::{
-    partition, partition_hierarchical, repartition, repartition_hierarchical, Config,
-    HierarchySpec,
+use geographer::{Config, HierarchySpec};
+use geographer_bench::{
+    level_metrics_json, run_plan_chain, scaled, solve_plan, write_bench_json, PlanRecipe,
+    TieredCostModel, Tool,
 };
-use geographer_bench::{scaled, TieredCostModel};
-use geographer_geometry::WeightedPoints;
-use geographer_graph::{evaluate_levels, imbalance, relabel_free_migration, LevelMetrics};
+use geographer_graph::{evaluate_levels, imbalance, LevelMetrics};
 use geographer_mesh::{families::bubbles_like, DynamicWorkload, Mesh, Scenario};
 
 /// Everything one config row reports.
@@ -66,23 +65,6 @@ fn row_for(
     }
 }
 
-fn levels_json(levels: &[LevelMetrics]) -> String {
-    let mut s = String::new();
-    for (i, l) in levels.iter().enumerate() {
-        let _ = write!(
-            s,
-            "{}{{\"groups\": {}, \"edge_cut\": {}, \"total_comm_volume\": {}, \
-             \"max_comm_volume\": {}}}",
-            if i > 0 { ", " } else { "" },
-            l.groups,
-            l.edge_cut,
-            l.total_comm_volume,
-            l.max_comm_volume
-        );
-    }
-    s
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let n = if smoke { 3_000 } else { scaled(12_000) };
@@ -93,11 +75,9 @@ fn main() {
 
     // --- Static comparison on a clustered mesh -------------------------
     let mesh = bubbles_like(n, seed);
-    let wp = WeightedPoints::new(mesh.points.clone(), mesh.weights.clone());
 
-    let t = std::time::Instant::now();
-    let flat = partition(&wp, 8, &cfg);
-    let flat_wall = t.elapsed().as_secs_f64();
+    let flat_recipe = PlanRecipe::flat("flat-k8", Tool::Geographer, 8, cfg.clone());
+    let flat = solve_plan(&mesh, &flat_recipe, 1, None);
 
     let mut rows: Vec<ConfigRow> = Vec::new();
     for arities in [vec![4usize, 2], vec![2, 2, 2]] {
@@ -105,21 +85,25 @@ fn main() {
         rows.push(row_for(
             "flat-k8",
             &mesh,
-            &flat.assignment,
+            &flat.plan.assignment,
             &spec,
-            flat_wall,
+            flat.wall_seconds,
             &model,
         ));
-        let t = std::time::Instant::now();
-        let hier = partition_hierarchical(&wp, &spec, &cfg);
-        let wall = t.elapsed().as_secs_f64();
-        assert!(hier.stats.balance_achieved, "hierarchical solve must balance every node");
+        let recipe = PlanRecipe::hierarchical(
+            format!("hier-{arities:?}").replace(' ', ""),
+            spec.clone(),
+            cfg.clone(),
+        );
+        let hier = solve_plan(&mesh, &recipe, 1, None);
+        let stats = hier.plan.stats.as_ref().expect("hierarchical plan carries stats");
+        assert!(stats.balance_achieved, "hierarchical solve must balance every node");
         rows.push(row_for(
-            &format!("hier-{arities:?}").replace(' ', ""),
+            &recipe.name,
             &mesh,
-            &hier.assignment,
+            &hier.plan.assignment,
             &spec,
-            wall,
+            hier.wall_seconds,
             &model,
         ));
     }
@@ -148,7 +132,7 @@ fn main() {
             r.inter_node_volume,
             r.intra_node_volume,
             r.modeled_exchange_s,
-            levels_json(&r.levels)
+            level_metrics_json(&r.levels)
         );
         eprintln!(
             "{:<14} machine={:<9} inter-node vol={:<6} intra-node vol={:<6} modeled \
@@ -169,35 +153,31 @@ fn main() {
         Scenario::ClusterDrift { clusters: 5, speed: 0.01 },
         seed + 1,
     );
-    let mut hier_prev = None;
-    let mut flat_prev = None;
-    let mut hier_asg: Option<Vec<u32>> = None;
-    let mut flat_asg: Option<Vec<u32>> = None;
+    let hier_chain = run_plan_chain(
+        &workload,
+        &PlanRecipe::hierarchical("hier", spec.clone(), cfg.clone()).warm(),
+        1,
+        steps,
+    );
+    let flat_chain = run_plan_chain(
+        &workload,
+        &PlanRecipe::flat("flat", Tool::Geographer, 8, cfg.clone()).warm(),
+        1,
+        steps,
+    );
     let (mut hier_mig, mut flat_mig) = (0.0f64, 0.0f64);
     let (mut hier_vol, mut flat_vol) = (0u64, 0u64);
     let mut steps_json = String::new();
-    for step in 0..steps {
-        let wp = WeightedPoints::new(workload.points_at(step), workload.weights_at(step));
+    for (h, f) in hier_chain.iter().zip(&flat_chain) {
+        let step = h.step;
         let graph = &workload.base.graph;
-        let hier = match &hier_prev {
-            None => partition_hierarchical(&wp, &spec, &cfg),
-            Some(prev) => repartition_hierarchical(&wp, prev, &spec, &cfg),
-        };
-        let flat = match &flat_prev {
-            None => partition(&wp, 8, &cfg),
-            Some(prev) => repartition(&wp, prev, 8, &cfg),
-        };
-        let h_inter = evaluate_levels(graph, &hier.assignment, &spec.level_groups())[0]
+        // The hierarchical plan already evaluated its levels; the flat
+        // assignment is sliced into the same node groups here.
+        let h_inter =
+            h.plan.levels.as_ref().expect("hier plan has levels")[0].total_comm_volume;
+        let f_inter = evaluate_levels(graph, &f.plan.assignment, &spec.level_groups())[0]
             .total_comm_volume;
-        let f_inter = evaluate_levels(graph, &flat.assignment, &spec.level_groups())[0]
-            .total_comm_volume;
-        let (h_mig, f_mig) = match (&hier_asg, &flat_asg) {
-            (Some(hp), Some(fp)) => (
-                relabel_free_migration(hp, &hier.assignment, &wp.weights, 8).point_fraction,
-                relabel_free_migration(fp, &flat.assignment, &wp.weights, 8).point_fraction,
-            ),
-            _ => (0.0, 0.0),
-        };
+        let (h_mig, f_mig) = (h.migrated_point_fraction, f.migrated_point_fraction);
         let _ = write!(
             steps_json,
             "{}    {{\"step\": {step}, \"hier_inter_node_volume\": {h_inter}, \
@@ -209,10 +189,6 @@ fn main() {
         flat_vol += f_inter;
         hier_mig += h_mig;
         flat_mig += f_mig;
-        hier_prev = Some(hier.previous.clone());
-        flat_prev = Some(flat.previous());
-        hier_asg = Some(hier.assignment);
-        flat_asg = Some(flat.assignment);
     }
     let resteps = (steps - 1).max(1) as f64;
     eprintln!(
@@ -244,13 +220,7 @@ fn main() {
         flat_mig / resteps,
     );
     // Smoke runs (CI) must not clobber the committed full-scale baseline.
-    let path = if smoke {
-        std::fs::create_dir_all("target").expect("create target/");
-        "target/BENCH_hierarchy.smoke.json"
-    } else {
-        "BENCH_hierarchy.json"
-    };
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let path = write_bench_json("hierarchy", smoke, &json);
     println!("{json}");
     println!("wrote {path}");
 }

@@ -19,15 +19,13 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use geographer::Config;
-use geographer_bench::{run_tool, scaled, TextTable, Tool};
+use geographer_bench::{scaled, solve_plan, write_bench_json, PlanRecipe, TextTable, Tool};
 use geographer_graph::imbalance;
 use geographer_mesh::{families::bubbles_like, delaunay_unit_square, Mesh};
-use geographer_refine::{
-    refine_multilevel, refine_partition, MultilevelConfig, RefineConfig,
-};
+use geographer_planner::RefineMode;
+use geographer_refine::{MultilevelConfig, RefineConfig};
 
 struct Row {
     mesh: &'static str,
@@ -54,22 +52,34 @@ fn bench_one(
     cfg: &Config,
     rcfg: &RefineConfig,
 ) -> Row {
-    let out = run_tool(tool, mesh, k, 2, cfg);
+    // Two plans from the same recipe, differing only in the refinement
+    // mode. The tools are deterministic (sampling off), so both start from
+    // the identical partition — the assert below pins that.
+    let base = PlanRecipe::flat("ml", tool, k, cfg.clone());
+    let single = solve_plan(
+        mesh,
+        &base.clone().with_refine(RefineMode::Single(rcfg.clone())),
+        2,
+        None,
+    )
+    .plan;
+    let multi = solve_plan(
+        mesh,
+        &base.with_refine(RefineMode::Multilevel(MultilevelConfig {
+            refine: rcfg.clone(),
+            ..MultilevelConfig::default()
+        })),
+        2,
+        None,
+    )
+    .plan;
 
-    let mut single = out.assignment.clone();
-    let t = Instant::now();
-    let sr = refine_partition(&mesh.graph, &mut single, &mesh.weights, k, rcfg);
-    let single_wall_s = t.elapsed().as_secs_f64();
-
-    let mut multi = out.assignment.clone();
-    let mcfg = MultilevelConfig { refine: rcfg.clone(), ..MultilevelConfig::default() };
-    let t = Instant::now();
-    let mr = refine_multilevel(&mesh.graph, &mut multi, &mesh.weights, k, &mcfg);
-    let multi_wall_s = t.elapsed().as_secs_f64();
-
+    let sr = single.refine.expect("single refinement report");
+    let mr = multi.refine.expect("multilevel refinement summary");
+    let ml = multi.multilevel.as_ref().expect("multilevel level reports");
     assert_eq!(sr.cut_before, mr.cut_before, "both refiners start from the same partition");
     let mut levels_json = String::new();
-    for (i, l) in mr.levels.iter().enumerate() {
+    for (i, l) in ml.levels.iter().enumerate() {
         let _ = write!(
             levels_json,
             "{}{{\"vertices\": {}, \"edges\": {}, \"cut_before\": {}, \"cut_after\": {}, \
@@ -90,13 +100,13 @@ fn bench_one(
         single_cut: sr.cut_after,
         single_moves: sr.moves,
         single_rounds: sr.rounds,
-        single_wall_s,
+        single_wall_s: single.refine_seconds,
         multi_cut: mr.cut_after,
         multi_moves: mr.moves,
-        multi_levels: mr.levels.len(),
-        multi_wall_s,
-        imbalance_single: imbalance(&single, &mesh.weights, k),
-        imbalance_multi: imbalance(&multi, &mesh.weights, k),
+        multi_levels: ml.levels.len(),
+        multi_wall_s: multi.refine_seconds,
+        imbalance_single: imbalance(&single.assignment, &mesh.weights, k),
+        imbalance_multi: imbalance(&multi.assignment, &mesh.weights, k),
         levels_json,
     }
 }
@@ -205,13 +215,7 @@ fn main() {
         MultilevelConfig::default().coarsest_vertices,
     );
     // Smoke runs (CI) must not clobber the committed full-scale baseline.
-    let path = if smoke {
-        std::fs::create_dir_all("target").expect("create target/");
-        "target/BENCH_multilevel.smoke.json"
-    } else {
-        "BENCH_multilevel.json"
-    };
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let path = write_bench_json("multilevel", smoke, &json);
     println!("{json}");
     println!("wrote {path}");
 }

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 
 use geographer::Config;
-use geographer_bench::{run_tool, scaled, CostModel, Tool};
+use geographer_bench::{scaled, solve_plan, write_bench_json, CostModel, PlanRecipe, Tool};
 use geographer_mesh::delaunay_unit_square;
 use geographer_parcomm::Collective;
 
@@ -21,16 +21,17 @@ fn main() {
     let n = scaled(20_000);
     let k = 8;
     let mesh = delaunay_unit_square(n, 17);
-    let cfg = Config::default();
+    let recipe = PlanRecipe::flat("pipeline", Tool::Geographer, k, Config::default());
     let model = CostModel::default();
 
     let mut runs = String::new();
     for (i, p) in [1usize, 2, 4, 8].into_iter().enumerate() {
-        let out = run_tool(Tool::Geographer, &mesh, k, p, &cfg);
-        let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
+        let run = solve_plan(&mesh, &recipe, p, None);
+        let comm = run.plan.comm;
+        let modeled = model.modeled_seconds(run.wall_seconds, p, &comm);
         let mut per_op = String::new();
         for (j, kind) in Collective::ALL.into_iter().enumerate() {
-            let op = out.comm.op(kind);
+            let op = comm.op(kind);
             let _ = write!(
                 per_op,
                 "{}\"{}\": {{\"ops\": {}, \"rounds\": {}, \"bytes\": {}}}",
@@ -49,18 +50,18 @@ fn main() {
             if i > 0 { ",\n" } else { "" },
             p,
             k,
-            out.wall_seconds,
+            run.wall_seconds,
             modeled,
-            out.comm.rounds(),
-            out.comm.bytes_per_rank(),
+            comm.rounds(),
+            comm.bytes_per_rank(),
             per_op
         );
         eprintln!(
             "p={p}: wall(serialized)={:.3}s modeled={:.4}s rounds={} bytes/rank={}",
-            out.wall_seconds,
+            run.wall_seconds,
             modeled,
-            out.comm.rounds(),
-            out.comm.bytes_per_rank()
+            comm.rounds(),
+            comm.bytes_per_rank()
         );
     }
 
@@ -71,7 +72,7 @@ fn main() {
          \"runs\": [\n{runs}\n  ]\n}}\n",
         model.alpha, model.beta
     );
-    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    let path = write_bench_json("pipeline", false, &json);
     println!("{json}");
-    println!("wrote BENCH_pipeline.json");
+    println!("wrote {path}");
 }

@@ -18,7 +18,9 @@
 use std::fmt::Write as _;
 
 use geographer::Config;
-use geographer_bench::{run_tool_repartition, scaled, RepartitionMode, RepartitionStep, Tool};
+use geographer_bench::{
+    run_plan_chain, scaled, write_bench_json, ChainStep, PlanRecipe, Tool,
+};
 use geographer_mesh::{delaunay_unit_square, DynamicWorkload, Scenario};
 
 fn mean(vals: impl Iterator<Item = f64>) -> f64 {
@@ -40,7 +42,7 @@ struct Summary {
     mean_cut: f64,
 }
 
-fn summarize(label: String, steps: &[RepartitionStep]) -> Summary {
+fn summarize(label: String, steps: &[ChainStep<2>]) -> Summary {
     Summary {
         label,
         total_wall: steps.iter().map(|s| s.wall_seconds).sum(),
@@ -64,18 +66,27 @@ fn main() {
     let workload = DynamicWorkload::new(delaunay_unit_square(n, seed), scenario, seed);
     let cfg = Config { sampling_init: false, ..Config::default() };
 
-    let mut summaries: Vec<(Summary, Vec<RepartitionStep>)> = Vec::new();
-    for (tool, mode) in [
-        (Tool::Geographer, RepartitionMode::Warm),
-        (Tool::Geographer, RepartitionMode::Cold),
-        (Tool::Hsfc, RepartitionMode::Cold),
-        (Tool::MultiJagged, RepartitionMode::Cold),
-        (Tool::Rcb, RepartitionMode::Cold),
-        (Tool::Rib, RepartitionMode::Cold),
-    ] {
-        let rows = run_tool_repartition(tool, &workload, k, p, &cfg, steps, mode);
-        let label = format!("{}-{}", tool.name(), mode.name());
-        let s = summarize(label, &rows);
+    // The recipe table: warm Geographer against every cold re-run.
+    let mut recipes = vec![PlanRecipe::flat(
+        "Geographer-warm",
+        Tool::Geographer,
+        k,
+        cfg.clone(),
+    )
+    .warm()];
+    for tool in Tool::ALL {
+        recipes.push(PlanRecipe::flat(
+            format!("{}-cold", tool.name()),
+            tool,
+            k,
+            cfg.clone(),
+        ));
+    }
+
+    let mut summaries: Vec<(Summary, Vec<ChainStep<2>>)> = Vec::new();
+    for recipe in &recipes {
+        let rows = run_plan_chain(&workload, recipe, p, steps);
+        let s = summarize(recipe.name.clone(), &rows);
         eprintln!(
             "{:<18} wall={:.3}s (re-steps {:.3}s) migration={:.3} wmigration={:.3} \
              max_imb={:.4} cut≈{:.0}",
@@ -142,13 +153,7 @@ fn main() {
         cold.migration / warm.migration.max(1e-12),
     );
     // Smoke runs (CI) must not clobber the committed full-scale baseline.
-    let path = if smoke {
-        std::fs::create_dir_all("target").expect("create target/");
-        "target/BENCH_repartition.smoke.json"
-    } else {
-        "BENCH_repartition.json"
-    };
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let path = write_bench_json("repartition", smoke, &json);
     println!("{json}");
     println!("wrote {path}");
 }

@@ -1,76 +1,22 @@
 //! Uniform tool driver: run any of the five partitioners SPMD on a mesh
 //! and evaluate the paper's metric row for the result.
+//!
+//! Since the planner refactor this module is a thin compatibility facade:
+//! [`Tool`] lives in [`geographer_planner`] and the run/repartition entry
+//! points delegate to the shared [`crate::harness`] (and through it to
+//! [`geographer_planner::Planner::solve`]), keeping the historical
+//! [`RunOutcome`]/[`RepartitionStep`] shapes for the table binaries.
 
-use std::time::Instant;
-
-use geographer::{repartition_spmd, Config, PreviousPartition};
-use geographer_baselines::Baseline;
-use geographer_geometry::Point;
-use geographer_graph::{
-    evaluate_partition_with_targets, imbalance, relabel_free_migration, PartitionMetrics,
-};
+use geographer::Config;
+use geographer_graph::{evaluate_partition_with_targets, PartitionMetrics};
 use geographer_mesh::{DynamicWorkload, Mesh};
-use geographer_parcomm::{run_spmd, Comm, CommStats};
-use geographer_refine::{
-    refine_multilevel, refine_partition, MultilevelConfig, MultilevelReport, RefineConfig,
-    RefineReport,
-};
+use geographer_parcomm::{run_spmd, CommStats};
+use geographer_refine::{MultilevelConfig, MultilevelReport, RefineConfig, RefineReport};
 use geographer_spmv::{spmv_comm_time, SpmvReport};
 
-/// The five evaluated tools, in the paper's presentation order
-/// (Geographer first, then the Zoltan geometric partitioners).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Tool {
-    /// Balanced k-means with SFC bootstrap (the paper's contribution).
-    Geographer,
-    /// Hilbert space-filling-curve cuts (zoltanSFC).
-    Hsfc,
-    /// MultiJagged multisection.
-    MultiJagged,
-    /// Recursive coordinate bisection.
-    Rcb,
-    /// Recursive inertial bisection.
-    Rib,
-}
+use crate::harness::{run_plan_chain, solve_plan, PlanRecipe};
 
-impl Tool {
-    /// All five tools.
-    pub const ALL: [Tool; 5] =
-        [Tool::Geographer, Tool::Hsfc, Tool::MultiJagged, Tool::Rcb, Tool::Rib];
-
-    /// Display name matching the paper's tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Tool::Geographer => "Geographer",
-            Tool::Hsfc => "HSFC",
-            Tool::MultiJagged => "MultiJagged",
-            Tool::Rcb => "RCB",
-            Tool::Rib => "RIB",
-        }
-    }
-
-    /// Run this tool on the rank-local shard (SPMD collective call).
-    pub fn partition_spmd<const D: usize, C: Comm>(
-        &self,
-        comm: &C,
-        points: &[Point<D>],
-        weights: &[f64],
-        k: usize,
-        cfg: &Config,
-    ) -> Vec<u32> {
-        match self {
-            Tool::Geographer => {
-                geographer::partition_spmd(comm, points, weights, k, cfg).assignment
-            }
-            Tool::Hsfc => Baseline::Hsfc.partition_spmd(comm, points, weights, k),
-            Tool::MultiJagged => {
-                Baseline::MultiJagged.partition_spmd(comm, points, weights, k)
-            }
-            Tool::Rcb => Baseline::Rcb.partition_spmd(comm, points, weights, k),
-            Tool::Rib => Baseline::Rib.partition_spmd(comm, points, weights, k),
-        }
-    }
-}
+pub use geographer_planner::Tool;
 
 /// Result of one tool run on one mesh.
 #[derive(Debug, Clone)]
@@ -154,8 +100,23 @@ pub fn run_tool<const D: usize>(
     run_tool_configured(tool, mesh, k, p, &RunConfig::new(cfg.clone()))
 }
 
+/// Translate the driver-level refinement switches into the planner's
+/// [`geographer_planner::RefineMode`]. The target-fraction inheritance the
+/// driver used to do by hand now lives in the planner itself.
+fn planner_refine(rc: &RunConfig) -> geographer_planner::RefineMode {
+    match (&rc.refine, rc.refine_mode) {
+        (None, _) => geographer_planner::RefineMode::None,
+        (Some(rcfg), RefineMode::Single) => {
+            geographer_planner::RefineMode::Single(rcfg.clone())
+        }
+        (Some(rcfg), RefineMode::Multilevel) => geographer_planner::RefineMode::Multilevel(
+            MultilevelConfig { refine: rcfg.clone(), ..MultilevelConfig::default() },
+        ),
+    }
+}
+
 /// [`run_tool`] with the full [`RunConfig`], including the opt-in
-/// refinement post-pass.
+/// refinement post-pass. Thin wrapper over [`solve_plan`].
 pub fn run_tool_configured<const D: usize>(
     tool: Tool,
     mesh: &Mesh<D>,
@@ -164,54 +125,17 @@ pub fn run_tool_configured<const D: usize>(
     rc: &RunConfig,
 ) -> RunOutcome {
     assert!(p >= 1 && k >= 1);
-    let cfg = &rc.core;
-    let n = mesh.n();
-    let chunk_bounds: Vec<(usize, usize)> =
-        (0..p).map(|r| (r * n / p, (r + 1) * n / p)).collect();
-    let t = Instant::now();
-    let results = run_spmd(p, |comm| {
-        let (lo, hi) = chunk_bounds[comm.rank()];
-        let before = comm.stats();
-        let asg =
-            tool.partition_spmd(&comm, &mesh.points[lo..hi], &mesh.weights[lo..hi], k, cfg);
-        (asg, comm.stats().since(&before))
-    });
-    let comm = results[0].1;
-    let mut assignment: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
-    assert_eq!(assignment.len(), n);
-    let mut multilevel = None;
-    let refine = rc.refine.as_ref().map(|rcfg| {
-        // A heterogeneous solve must be refined against its own targets:
-        // when the refine config leaves target_fractions unset, inherit
-        // the solver's — otherwise the post-pass would legally "rebalance"
-        // a deliberately skewed partition toward uniform.
-        let mut rcfg = rcfg.clone();
-        if rcfg.target_fractions.is_none() {
-            rcfg.target_fractions = rc.core.target_fractions.clone();
-        }
-        match rc.refine_mode {
-            RefineMode::Single => {
-                refine_partition(&mesh.graph, &mut assignment, &mesh.weights, k, &rcfg)
-            }
-            RefineMode::Multilevel => {
-                let mcfg = MultilevelConfig { refine: rcfg, ..MultilevelConfig::default() };
-                let report =
-                    refine_multilevel(&mesh.graph, &mut assignment, &mesh.weights, k, &mcfg);
-                let summary = report.summary();
-                multilevel = Some(report);
-                summary
-            }
-        }
-    });
-    let wall_seconds = t.elapsed().as_secs_f64();
+    let recipe = PlanRecipe::flat("run", tool, k, rc.core.clone()).with_refine(planner_refine(rc));
+    let run = solve_plan(mesh, &recipe, p, None);
+    let plan = run.plan;
     RunOutcome {
-        assignment,
-        wall_seconds,
-        comm,
-        ranks: p,
-        refine,
+        assignment: plan.assignment,
+        wall_seconds: run.wall_seconds,
+        comm: plan.comm,
+        ranks: plan.ranks,
+        refine: plan.refine,
         refine_mode: rc.refine_mode,
-        multilevel,
+        multilevel: plan.multilevel,
     }
 }
 
@@ -256,27 +180,14 @@ pub struct RepartitionStep {
     pub migrated_weight_fraction: f64,
 }
 
-fn edge_cut_of(g: &geographer_graph::CsrGraph, asg: &[u32]) -> u64 {
-    let mut cut = 0u64;
-    for v in 0..g.n() as u32 {
-        for &u in g.neighbors(v) {
-            if v < u && asg[v as usize] != asg[u as usize] {
-                cut += 1;
-            }
-        }
-    }
-    cut
-}
-
 /// Drive `tool` over `steps` steps of a dynamic workload with `p` SPMD
 /// ranks, repartitioning at every step in the given mode, and measure the
 /// migration between consecutive assignments (relabel-free, so cold runs
 /// with arbitrary block numbering are compared fairly).
 ///
 /// Step 0 is always a cold bootstrap; in [`RepartitionMode::Warm`] every
-/// later step feeds the previous Geographer state into
-/// [`geographer::repartition_spmd`] instead of re-running the full
-/// pipeline.
+/// later step feeds the previous plan's state back into the solve. Thin
+/// wrapper over [`run_plan_chain`].
 pub fn run_tool_repartition(
     tool: Tool,
     workload: &DynamicWorkload,
@@ -287,63 +198,21 @@ pub fn run_tool_repartition(
     mode: RepartitionMode,
 ) -> Vec<RepartitionStep> {
     assert!(p >= 1 && k >= 1 && steps >= 1);
-    let n = workload.base.n();
-    let chunk_bounds: Vec<(usize, usize)> =
-        (0..p).map(|r| (r * n / p, (r + 1) * n / p)).collect();
-    let warm = mode == RepartitionMode::Warm && tool == Tool::Geographer;
-
-    let mut out = Vec::with_capacity(steps);
-    let mut prev_state: Option<PreviousPartition<2>> = None;
-    let mut prev_assignment: Option<Vec<u32>> = None;
-    for step in 0..steps {
-        let mesh = workload.mesh_at(step);
-        let t = Instant::now();
-        let (assignment, state) = if tool == Tool::Geographer {
-            // Cold bootstrap or warm continuation — same SPMD harness,
-            // different solve call.
-            let warm_prev = if warm { prev_state.as_ref() } else { None };
-            let results = run_spmd(p, |comm| {
-                let (lo, hi) = chunk_bounds[comm.rank()];
-                let (points, weights) = (&mesh.points[lo..hi], &mesh.weights[lo..hi]);
-                let res = match warm_prev {
-                    Some(prev) => repartition_spmd(&comm, points, weights, prev, k, cfg),
-                    None => geographer::partition_spmd(&comm, points, weights, k, cfg),
-                };
-                let state = res.previous();
-                (res.assignment, state)
-            });
-            let state = warm.then(|| results[0].1.clone());
-            let asg: Vec<u32> = results.into_iter().flat_map(|(a, _)| a).collect();
-            (asg, state)
-        } else {
-            let results = run_spmd(p, |comm| {
-                let (lo, hi) = chunk_bounds[comm.rank()];
-                tool.partition_spmd(&comm, &mesh.points[lo..hi], &mesh.weights[lo..hi], k, cfg)
-            });
-            (results.into_iter().flatten().collect(), None)
-        };
-        let wall_seconds = t.elapsed().as_secs_f64();
-        assert_eq!(assignment.len(), n);
-
-        let (mig_pts, mig_w) = match &prev_assignment {
-            Some(prev) => {
-                let m = relabel_free_migration(prev, &assignment, &mesh.weights, k);
-                (m.point_fraction, m.weight_fraction)
-            }
-            None => (0.0, 0.0),
-        };
-        out.push(RepartitionStep {
-            step,
-            wall_seconds,
-            imbalance: imbalance(&assignment, &mesh.weights, k),
-            edge_cut: edge_cut_of(&mesh.graph, &assignment),
-            migrated_point_fraction: mig_pts,
-            migrated_weight_fraction: mig_w,
-        });
-        prev_state = state;
-        prev_assignment = Some(assignment);
+    let mut recipe = PlanRecipe::flat(mode.name(), tool, k, cfg.clone());
+    if mode == RepartitionMode::Warm {
+        recipe = recipe.warm();
     }
-    out
+    run_plan_chain(workload, &recipe, p, steps)
+        .into_iter()
+        .map(|s| RepartitionStep {
+            step: s.step,
+            wall_seconds: s.wall_seconds,
+            imbalance: s.imbalance,
+            edge_cut: s.edge_cut,
+            migrated_point_fraction: s.migrated_point_fraction,
+            migrated_weight_fraction: s.migrated_weight_fraction,
+        })
+        .collect()
 }
 
 /// One row of the paper's Tables 1–2: tool, time, cut, comm volumes,

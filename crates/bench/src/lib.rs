@@ -8,6 +8,7 @@
 
 pub mod cost;
 pub mod driver;
+pub mod harness;
 pub mod table;
 
 pub use cost::{CostModel, TieredCostModel};
@@ -15,6 +16,10 @@ pub use driver::{
     aggregate_spmv, evaluate_run, evaluate_run_with_targets, run_tool, run_tool_configured,
     run_tool_repartition, RefineMode, RepartitionMode, RepartitionStep, RunConfig,
     RunOutcome, Tool, ToolRow,
+};
+pub use harness::{
+    level_metrics_json, run_plan_chain, solve_plan, write_bench_json, ChainStep, PlanRecipe,
+    PlanRun,
 };
 pub use table::TextTable;
 

@@ -1,0 +1,51 @@
+//! # Geographer planner: one API over the paper's four pillars
+//!
+//! The reproduction grew the paper's algorithmic pillars as separate entry
+//! points — the cold pipeline (`geographer::partition_spmd`), warm-start
+//! repartitioning (`geographer::repartition_spmd`), hierarchical
+//! processor-aware solves (`geographer::partition_hierarchical_spmd`),
+//! and multilevel refinement (`geographer_refine::refine_multilevel`) —
+//! which composed only pairwise through hand-written glue. This crate
+//! collapses them behind a single surface (DESIGN.md §8):
+//!
+//! * [`PlanSpec`] — *what* to solve: a [`MeshView`], a [`Tool`], the block
+//!   count, an optional `HierarchySpec`, a [`RefineMode`], and the solver
+//!   `Config`;
+//! * [`PlanState`] — *what the last plan learned*: the unified warm-start
+//!   enum over `PreviousPartition` (flat) and `PreviousHierarchy`
+//!   (hierarchical);
+//! * [`Planner::solve`]`(spec, state, comm)` → [`Plan`] — the assignment,
+//!   the refreshed state for the next time step, and per-phase
+//!   counters/metrics.
+//!
+//! Combinations that used to require new driver code are now configuration:
+//! a warm **hierarchical** solve with a **multilevel V-cycle at every
+//! hierarchy level** under the hierarchy's own per-level targets is one
+//! `PlanSpec` ([`refine_hierarchy_multilevel`] is the new stacked kernel).
+//! Illegal combinations are rejected with a typed [`PlanError`] whose
+//! `Display` texts follow the workspace's `geographer config:` convention.
+//!
+//! ```
+//! use geographer::Config;
+//! use geographer_mesh::delaunay_unit_square;
+//! use geographer_parcomm::SelfComm;
+//! use geographer_planner::{MeshView, PlanSpec, Planner, Tool};
+//!
+//! let mesh = delaunay_unit_square(600, 9);
+//! let cfg = Config { sampling_init: false, ..Config::default() };
+//! let spec = PlanSpec::flat(MeshView::from(&mesh), Tool::Geographer, 4, cfg);
+//! let plan = Planner::solve(&spec, None, &SelfComm);
+//! assert_eq!(plan.assignment.len(), 600);
+//! // Feed `plan.state` into the next step's solve to warm-start it.
+//! assert!(plan.state.is_some());
+//! ```
+
+pub mod hier_refine;
+pub mod solve;
+pub mod spec;
+pub mod tool;
+
+pub use hier_refine::refine_hierarchy_multilevel;
+pub use solve::{Plan, Planner};
+pub use spec::{MeshView, PlanError, PlanSpec, PlanState, RefineMode};
+pub use tool::Tool;

@@ -1,0 +1,362 @@
+//! [`Planner`]: the single entry point over the cold pipeline, warm-start
+//! repartitioning, hierarchical solves, and (hierarchy-aware) multilevel
+//! refinement.
+//!
+//! `Planner::solve` is an SPMD collective call: every rank passes the same
+//! [`PlanSpec`] (the mesh view is the full replicated point set — the
+//! planner shards it internally into the same contiguous `[r·n/p, (r+1)·n/p)`
+//! chunks the bench driver always used) and receives a [`Plan`] carrying
+//! the *global* assignment, the refreshed warm state for the next step,
+//! and per-phase counters. Refinement runs redundantly on every rank —
+//! it is deterministic, so all ranks hold the same plan without extra
+//! communication rounds being charged to the solver.
+//!
+//! `Plan::comm` counts the solver's collectives only (snapshot-diffed
+//! around the solve, before the assembly allgather), so the counters are
+//! directly comparable with the paper's communication model and with the
+//! pre-planner committed benchmark numbers.
+
+use std::time::Instant;
+
+use geographer::KMeansStats;
+use geographer_graph::{imbalance_with_targets, LevelMetrics};
+use geographer_parcomm::{Comm, CommStats};
+use geographer_refine::{
+    refine_multilevel, refine_partition, MultilevelReport, RefineReport,
+};
+
+use crate::hier_refine::refine_hierarchy_multilevel;
+use crate::spec::{PlanError, PlanSpec, PlanState, RefineMode};
+
+/// A finished plan: the assignment plus everything the next step and the
+/// evaluation harness need.
+#[derive(Debug, Clone)]
+pub struct Plan<const D: usize> {
+    /// Number of leaf blocks.
+    pub k: usize,
+    /// Block id of every mesh vertex, in input order — **global** on every
+    /// rank (post-refinement when the spec asked for it).
+    pub assignment: Vec<u32>,
+    /// Refreshed warm state in the variant matching the spec: feed it back
+    /// into the next solve on the drifted point set. `None` for the
+    /// stateless baseline tools.
+    pub state: Option<PlanState<D>>,
+    /// Solver work counters (`None` for the baseline tools; the
+    /// hierarchical aggregate for hierarchical specs).
+    pub stats: Option<KMeansStats>,
+    /// This rank's communication counters of the solve phase only (the
+    /// assembly allgather and the rank-redundant refinement are excluded;
+    /// see the module docs).
+    pub comm: CommStats,
+    /// Ranks that solved the plan.
+    pub ranks: usize,
+    /// Paper-comparable pipeline seconds of the solve (per-node sum for
+    /// hierarchical specs; wall time for the baselines).
+    pub solve_seconds: f64,
+    /// Wall seconds of the refinement post-pass (0 when none ran).
+    pub refine_seconds: f64,
+    /// Flat refinement summary, when refinement ran (the per-level sum for
+    /// hierarchical multilevel refinement).
+    pub refine: Option<RefineReport>,
+    /// Full V-cycle report, when flat multilevel refinement ran.
+    pub multilevel: Option<MultilevelReport>,
+    /// Per-hierarchy-level refinement reports, when the stacked
+    /// hierarchical multilevel mode ran (outermost level first).
+    pub level_refine: Option<Vec<RefineReport>>,
+    /// Worst node-local solver imbalance per hierarchy level (from the
+    /// hierarchical solver; `None` for flat specs).
+    pub level_imbalance: Option<Vec<f64>>,
+    /// Per-level cut/volume metrics of the finished assignment (hierarchy
+    /// specs with a graph only; `levels[0]` is the inter-node tier).
+    pub levels: Option<Vec<LevelMetrics>>,
+    /// Target-aware weighted imbalance of the finished assignment, against
+    /// the spec's leaf fractions.
+    pub imbalance: f64,
+}
+
+/// The unified solver front-end. Stateless — all inputs travel in the
+/// [`PlanSpec`]/[`PlanState`] pair, all outputs in the [`Plan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Solve a plan (SPMD collective call), or report why the
+    /// spec/state combination is illegal. Parameter-range errors inside
+    /// `spec.config` / `spec.hierarchy` keep their canonical
+    /// `geographer config:` panics from the layers below.
+    pub fn try_solve<const D: usize, C: Comm>(
+        spec: &PlanSpec<'_, D>,
+        state: Option<&PlanState<D>>,
+        comm: &C,
+    ) -> Result<Plan<D>, PlanError> {
+        spec.validate(state)?;
+        let n = spec.mesh.points.len();
+        let (p, r) = (comm.size(), comm.rank());
+        let (lo, hi) = (r * n / p, (r + 1) * n / p);
+        let (points, weights) = (&spec.mesh.points[lo..hi], &spec.mesh.weights[lo..hi]);
+        let cfg = &spec.config;
+
+        // --- Solve phase (the only phase charged to Plan::comm).
+        let before = comm.stats();
+        let t = Instant::now();
+        let mut solve_seconds;
+        let (local, state_out, stats, level_imbalance) = match &spec.hierarchy {
+            Some(h) => {
+                let res = match state {
+                    Some(PlanState::Hierarchical(prev)) => {
+                        geographer::repartition_hierarchical_spmd(
+                            comm, points, weights, prev, h, cfg,
+                        )
+                    }
+                    _ => geographer::partition_hierarchical_spmd(comm, points, weights, h, cfg),
+                };
+                solve_seconds = res.seconds;
+                (
+                    res.assignment,
+                    Some(PlanState::Hierarchical(res.previous)),
+                    Some(res.stats),
+                    Some(res.level_imbalance),
+                )
+            }
+            None if spec.tool.is_stateful() => {
+                let res = match state {
+                    Some(PlanState::Flat(prev)) => {
+                        geographer::repartition_spmd(comm, points, weights, prev, spec.k, cfg)
+                    }
+                    _ => geographer::partition_spmd(comm, points, weights, spec.k, cfg),
+                };
+                solve_seconds = res.timings.total();
+                (
+                    res.assignment.clone(),
+                    Some(PlanState::Flat(res.previous())),
+                    Some(res.stats),
+                    None,
+                )
+            }
+            None => {
+                let asg = spec.tool.partition_spmd(comm, points, weights, spec.k, cfg);
+                solve_seconds = 0.0; // set from wall time below
+                (asg, None, None, None)
+            }
+        };
+        if state_out.is_none() {
+            solve_seconds = t.elapsed().as_secs_f64();
+        }
+        let comm_used = comm.stats().since(&before);
+
+        // --- Assembly: uncounted, so Plan::comm matches the legacy
+        // driver's solver-only counters.
+        let mut assignment: Vec<u32> = if p == 1 {
+            local
+        } else {
+            comm.allgather(local).into_iter().flatten().collect()
+        };
+        debug_assert_eq!(assignment.len(), n);
+
+        // --- Refinement phase: deterministic, rank-redundant.
+        let rt = Instant::now();
+        let mut refine = None;
+        let mut multilevel = None;
+        let mut level_refine = None;
+        match &spec.refine {
+            RefineMode::None => {}
+            RefineMode::Single(rcfg) => {
+                let g = spec.mesh.graph.expect("validated: refinement has a graph");
+                let mut rcfg = rcfg.clone();
+                if rcfg.target_fractions.is_none() {
+                    rcfg.target_fractions = cfg.target_fractions.clone();
+                }
+                refine = Some(refine_partition(
+                    g,
+                    &mut assignment,
+                    spec.mesh.weights,
+                    spec.k,
+                    &rcfg,
+                ));
+            }
+            RefineMode::Multilevel(mcfg) => {
+                let g = spec.mesh.graph.expect("validated: refinement has a graph");
+                match &spec.hierarchy {
+                    Some(h) => {
+                        let reports = refine_hierarchy_multilevel(
+                            g,
+                            &mut assignment,
+                            spec.mesh.weights,
+                            h,
+                            mcfg,
+                        );
+                        refine = Some(RefineReport {
+                            cut_before: reports.iter().map(|r| r.cut_before).sum(),
+                            cut_after: reports.iter().map(|r| r.cut_after).sum(),
+                            moves: reports.iter().map(|r| r.moves).sum(),
+                            rounds: reports.iter().map(|r| r.rounds).sum(),
+                        });
+                        level_refine = Some(reports);
+                    }
+                    None => {
+                        let mut mcfg = mcfg.clone();
+                        if mcfg.refine.target_fractions.is_none() {
+                            mcfg.refine.target_fractions = cfg.target_fractions.clone();
+                        }
+                        let report = refine_multilevel(
+                            g,
+                            &mut assignment,
+                            spec.mesh.weights,
+                            spec.k,
+                            &mcfg,
+                        );
+                        refine = Some(report.summary());
+                        multilevel = Some(report);
+                    }
+                }
+            }
+        }
+        let refine_seconds =
+            if matches!(spec.refine, RefineMode::None) { 0.0 } else { rt.elapsed().as_secs_f64() };
+
+        // --- Metrics of the finished assignment.
+        let leaf_fractions = spec.leaf_fractions();
+        let imbalance = imbalance_with_targets(
+            &assignment,
+            spec.mesh.weights,
+            spec.k,
+            leaf_fractions.as_deref(),
+        );
+        let levels = match (&spec.hierarchy, spec.mesh.graph) {
+            (Some(h), Some(g)) => {
+                Some(geographer_graph::evaluate_levels(g, &assignment, &h.level_groups()))
+            }
+            _ => None,
+        };
+
+        Ok(Plan {
+            k: spec.k,
+            assignment,
+            state: state_out,
+            stats,
+            comm: comm_used,
+            ranks: p,
+            solve_seconds,
+            refine_seconds,
+            refine,
+            multilevel,
+            level_refine,
+            level_imbalance,
+            levels,
+            imbalance,
+        })
+    }
+
+    /// [`Planner::try_solve`], panicking on an illegal spec with the
+    /// error's canonical `geographer config:` text — for callers that
+    /// treat a bad spec as a programming error, matching the legacy entry
+    /// points' panic convention.
+    pub fn solve<const D: usize, C: Comm>(
+        spec: &PlanSpec<'_, D>,
+        state: Option<&PlanState<D>>,
+        comm: &C,
+    ) -> Plan<D> {
+        match Self::try_solve(spec, state, comm) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MeshView;
+    use crate::tool::Tool;
+    use geographer::{Config, HierarchySpec};
+    use geographer_geometry::WeightedPoints;
+    use geographer_mesh::{delaunay_unit_square, families::bubbles_like};
+    use geographer_parcomm::SelfComm;
+    use geographer_refine::MultilevelConfig;
+
+    #[test]
+    fn flat_plan_matches_the_legacy_pipeline() {
+        let mesh = delaunay_unit_square(1_200, 61);
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let spec = PlanSpec::flat(MeshView::from(&mesh), Tool::Geographer, 5, cfg.clone());
+        let plan = Planner::solve(&spec, None, &SelfComm);
+        let wp = WeightedPoints::new(mesh.points.clone(), mesh.weights.clone());
+        let legacy = geographer::partition(&wp, 5, &cfg);
+        assert_eq!(plan.assignment, legacy.assignment);
+        assert_eq!(plan.k, 5);
+        assert!(plan.stats.is_some());
+        assert!(matches!(plan.state, Some(PlanState::Flat(_))));
+        assert!(plan.levels.is_none() && plan.level_imbalance.is_none());
+        assert!(plan.imbalance <= cfg.epsilon + 1e-9);
+    }
+
+    #[test]
+    fn baseline_plan_matches_the_tool_and_has_no_state() {
+        let mesh = delaunay_unit_square(900, 62);
+        let cfg = Config::default();
+        let spec = PlanSpec::flat(MeshView::from(&mesh), Tool::Rcb, 4, cfg.clone());
+        let plan = Planner::solve(&spec, None, &SelfComm);
+        let legacy =
+            Tool::Rcb.partition_spmd(&SelfComm, &mesh.points, &mesh.weights, 4, &cfg);
+        assert_eq!(plan.assignment, legacy);
+        assert!(plan.state.is_none());
+        assert!(plan.stats.is_none());
+    }
+
+    #[test]
+    fn hierarchical_plan_matches_the_legacy_solver_and_reports_levels() {
+        let mesh = bubbles_like(2_000, 63);
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let h = HierarchySpec::uniform(&[2, 2]);
+        let spec = PlanSpec::hierarchical(MeshView::from(&mesh), h.clone(), cfg.clone());
+        let plan = Planner::solve(&spec, None, &SelfComm);
+        let wp = WeightedPoints::new(mesh.points.clone(), mesh.weights.clone());
+        let legacy = geographer::partition_hierarchical(&wp, &h, &cfg);
+        assert_eq!(plan.assignment, legacy.assignment);
+        assert!(matches!(plan.state, Some(PlanState::Hierarchical(_))));
+        let levels = plan.levels.expect("hierarchy + graph must report levels");
+        assert_eq!(levels.len(), 2);
+        assert!(levels[0].edge_cut <= levels[1].edge_cut);
+        assert_eq!(plan.level_imbalance.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stacked_spec_runs_and_improves_the_leaf_cut() {
+        let mesh = bubbles_like(4_000, 64);
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let h = HierarchySpec::uniform(&[2, 2]);
+        let plain = Planner::solve(
+            &PlanSpec::hierarchical(MeshView::from(&mesh), h.clone(), cfg.clone()),
+            None,
+            &SelfComm,
+        );
+        let stacked = Planner::solve(
+            &PlanSpec::hierarchical(MeshView::from(&mesh), h, cfg)
+                .with_refine(RefineMode::Multilevel(MultilevelConfig::default())),
+            None,
+            &SelfComm,
+        );
+        let pl = plain.levels.unwrap();
+        let sl = stacked.levels.unwrap();
+        assert!(sl[1].edge_cut < pl[1].edge_cut, "{} -> {}", pl[1].edge_cut, sl[1].edge_cut);
+        assert!(sl[0].edge_cut <= pl[0].edge_cut);
+        assert!(stacked.level_refine.unwrap().len() == 2);
+        assert!(stacked.refine.unwrap().moves > 0);
+        assert!(stacked.refine_seconds >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geographer config: flat plan state handed to a hierarchical spec")]
+    fn solve_panics_with_the_pinned_text() {
+        let mesh = delaunay_unit_square(400, 65);
+        let cfg = Config { sampling_init: false, ..Config::default() };
+        let flat = Planner::solve(
+            &PlanSpec::flat(MeshView::from(&mesh), Tool::Geographer, 4, cfg.clone()),
+            None,
+            &SelfComm,
+        );
+        let spec =
+            PlanSpec::hierarchical(MeshView::from(&mesh), HierarchySpec::uniform(&[2, 2]), cfg);
+        let _ = Planner::solve(&spec, flat.state.as_ref(), &SelfComm);
+    }
+}

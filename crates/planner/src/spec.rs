@@ -1,0 +1,614 @@
+//! The planner's input surface: [`MeshView`], [`PlanSpec`], [`PlanState`],
+//! and the typed [`PlanError`] validation path.
+//!
+//! A [`PlanSpec`] names *what* to solve (mesh view, tool, block count,
+//! optional processor hierarchy, refinement mode, solver tuning), a
+//! [`PlanState`] carries *what a previous plan learned* (the flat or
+//! hierarchical warm-start state), and [`crate::Planner::try_solve`] turns
+//! the pair into a [`crate::Plan`]. Illegal spec combinations — a flat
+//! state handed to a hierarchical spec, refinement without a graph, a
+//! baseline tool given warm state — are rejected with a [`PlanError`]
+//! whose `Display` text follows the workspace's canonical
+//! `geographer config:` error convention (DESIGN.md §8; exact texts pinned
+//! by the unit tests below).
+
+use std::fmt;
+
+use geographer::{Config, HierarchySpec, PreviousHierarchy, PreviousPartition};
+use geographer_geometry::Point;
+use geographer_graph::CsrGraph;
+use geographer_mesh::Mesh;
+use geographer_refine::{MultilevelConfig, RefineConfig};
+
+use crate::tool::Tool;
+
+/// Borrowed view of the data a plan is solved over: coordinates, weights,
+/// and (optionally) the mesh graph quality is measured and refined on.
+/// Refinement modes other than [`RefineMode::None`] require the graph.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshView<'a, const D: usize> {
+    /// Vertex coordinates (the full, replicated point set — the planner
+    /// shards it across the communicator's ranks internally).
+    pub points: &'a [Point<D>],
+    /// Per-vertex weights, same length as `points`.
+    pub weights: &'a [f64],
+    /// The mesh graph, when available (required for refinement and for the
+    /// per-level metrics of hierarchical plans).
+    pub graph: Option<&'a CsrGraph>,
+}
+
+impl<'a, const D: usize> From<&'a Mesh<D>> for MeshView<'a, D> {
+    fn from(mesh: &'a Mesh<D>) -> Self {
+        MeshView {
+            points: &mesh.points,
+            weights: &mesh.weights,
+            graph: Some(&mesh.graph),
+        }
+    }
+}
+
+/// Which refinement post-pass the plan runs on the assembled assignment.
+#[derive(Debug, Clone, Default)]
+pub enum RefineMode {
+    /// No refinement.
+    #[default]
+    None,
+    /// One flat FM-style boundary pass ([`geographer_refine::refine_partition`]).
+    /// Flat specs only — a single sweep has no per-level semantics.
+    Single(RefineConfig),
+    /// The multilevel coarsen→refine→project V-cycle. On flat specs this is
+    /// [`geographer_refine::refine_multilevel`]; on hierarchical specs the
+    /// V-cycle runs *per hierarchy level* under each level's ε and capacity
+    /// fractions ([`crate::refine_hierarchy_multilevel`]) — the stacked
+    /// combination the legacy entry points could not express.
+    Multilevel(MultilevelConfig),
+}
+
+impl RefineMode {
+    /// Display name for benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefineMode::None => "none",
+            RefineMode::Single(_) => "single",
+            RefineMode::Multilevel(_) => "multilevel",
+        }
+    }
+}
+
+/// The reusable prior state of a plan — the unified warm-start surface
+/// subsuming [`PreviousPartition`] (flat solves) and [`PreviousHierarchy`]
+/// (hierarchical solves). A finished [`crate::Plan`] returns the refreshed
+/// state in the matching variant; feed it back into the next
+/// [`crate::Planner::try_solve`] call on the drifted point set.
+#[derive(Debug, Clone)]
+pub enum PlanState<const D: usize> {
+    /// Warm state of a flat solve: replicated centers + influences.
+    Flat(PreviousPartition<D>),
+    /// Warm state of a hierarchical solve: one `(centers, influence)` pair
+    /// per internal tree node, pre-order.
+    Hierarchical(PreviousHierarchy<D>),
+}
+
+impl<const D: usize> PlanState<D> {
+    /// Which spec shape this state warm-starts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanState::Flat(_) => "flat",
+            PlanState::Hierarchical(_) => "hierarchical",
+        }
+    }
+
+    /// Number of leaf blocks this state describes.
+    pub fn k(&self) -> usize {
+        match self {
+            PlanState::Flat(p) => p.k(),
+            PlanState::Hierarchical(h) => h.arities.iter().product(),
+        }
+    }
+}
+
+/// Full description of one partitioning problem: what the legacy entry
+/// points (`partition`/`repartition_spmd`, `partition_hierarchical(_spmd)`,
+/// `refine_multilevel`) each solved a slice of, as one value. See
+/// DESIGN.md §8 for which combinations are legal.
+#[derive(Debug, Clone)]
+pub struct PlanSpec<'a, const D: usize> {
+    /// The data being partitioned.
+    pub mesh: MeshView<'a, D>,
+    /// Which partitioner runs.
+    pub tool: Tool,
+    /// Number of leaf blocks. With a hierarchy this must equal the
+    /// hierarchy's total leaf count (`spec.total_blocks()`).
+    pub k: usize,
+    /// Solve for a processor hierarchy instead of a flat k-way split
+    /// (Geographer only; per-level ε and capacity fractions live in the
+    /// spec's levels).
+    pub hierarchy: Option<HierarchySpec>,
+    /// Refinement post-pass on the assembled assignment.
+    pub refine: RefineMode,
+    /// Solver tuning (ε, iteration caps, `target_fractions` for flat
+    /// heterogeneous solves, …).
+    pub config: Config,
+}
+
+impl<'a, const D: usize> PlanSpec<'a, D> {
+    /// Flat spec with no refinement — the cold-pipeline shape.
+    pub fn flat(mesh: MeshView<'a, D>, tool: Tool, k: usize, config: Config) -> Self {
+        PlanSpec { mesh, tool, k, hierarchy: None, refine: RefineMode::None, config }
+    }
+
+    /// Hierarchical Geographer spec with no refinement; `k` is derived
+    /// from the hierarchy's arities.
+    pub fn hierarchical(mesh: MeshView<'a, D>, spec: HierarchySpec, config: Config) -> Self {
+        let k = spec.total_blocks();
+        PlanSpec {
+            mesh,
+            tool: Tool::Geographer,
+            k,
+            hierarchy: Some(spec),
+            refine: RefineMode::None,
+            config,
+        }
+    }
+
+    /// Same spec with a refinement mode.
+    pub fn with_refine(mut self, refine: RefineMode) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// The leaf-level target weight fractions this spec implies: the flat
+    /// `config.target_fractions` for flat specs, or the per-level product
+    /// of the hierarchy's capacity fractions for hierarchical specs
+    /// (`None` = uniform).
+    pub fn leaf_fractions(&self) -> Option<Vec<f64>> {
+        match &self.hierarchy {
+            None => self.config.target_fractions.clone(),
+            Some(h) => {
+                if h.levels.iter().all(|l| l.fractions.is_none()) {
+                    return None;
+                }
+                let total = h.total_blocks();
+                let mut fractions = vec![1.0f64; total];
+                for (b, f) in fractions.iter_mut().enumerate() {
+                    let path = h.path_of_block(b as u32);
+                    for (l, lv) in h.levels.iter().enumerate() {
+                        if let Some(lf) = &lv.fractions {
+                            let sum: f64 = lf.iter().sum();
+                            *f *= lf[path[l] as usize] / sum;
+                        }
+                    }
+                }
+                Some(fractions)
+            }
+        }
+    }
+
+    /// Check the spec/state combination, returning the typed error the
+    /// `geographer config:` convention documents (DESIGN.md §8).
+    ///
+    /// Parameter-range errors inside `config` and `hierarchy` keep their
+    /// existing canonical panics ([`Config::validate`],
+    /// [`HierarchySpec::validate`]); this function owns the *combination*
+    /// checks the legacy entry points could not express.
+    pub fn validate(&self, state: Option<&PlanState<D>>) -> Result<(), PlanError> {
+        let n = self.mesh.points.len();
+        if n != self.mesh.weights.len() {
+            return Err(PlanError::MeshLengths { points: n, weights: self.mesh.weights.len() });
+        }
+        if let Some(g) = self.mesh.graph {
+            if g.n() != n {
+                return Err(PlanError::GraphLength { graph: g.n(), points: n });
+            }
+        }
+        if self.k == 0 {
+            return Err(PlanError::KZero);
+        }
+        if self.k as u64 > (n as u64).max(1) {
+            return Err(PlanError::KExceedsN { k: self.k, n: n as u64 });
+        }
+        if let Some(h) = &self.hierarchy {
+            if self.tool != Tool::Geographer {
+                return Err(PlanError::HierarchicalTool { tool: self.tool.name() });
+            }
+            if self.k != h.total_blocks() {
+                return Err(PlanError::KHierarchyMismatch {
+                    k: self.k,
+                    total: h.total_blocks(),
+                });
+            }
+            if self.config.target_fractions.is_some() {
+                return Err(PlanError::HierarchicalFlatFractions);
+            }
+            if matches!(self.refine, RefineMode::Single(_)) {
+                return Err(PlanError::HierarchicalSingleRefine);
+            }
+        }
+        if !matches!(self.refine, RefineMode::None) && self.mesh.graph.is_none() {
+            return Err(PlanError::MissingGraph);
+        }
+        if let Some(state) = state {
+            if !self.tool.is_stateful() {
+                return Err(PlanError::StatelessTool { tool: self.tool.name() });
+            }
+            let spec_kind = if self.hierarchy.is_some() { "hierarchical" } else { "flat" };
+            if state.kind() != spec_kind {
+                return Err(PlanError::StateKindMismatch {
+                    state: state.kind(),
+                    spec: spec_kind,
+                });
+            }
+            match (state, &self.hierarchy) {
+                (PlanState::Flat(p), None) => {
+                    if p.k() != self.k {
+                        return Err(PlanError::StateSizeMismatch { state_k: p.k(), k: self.k });
+                    }
+                }
+                (PlanState::Hierarchical(p), Some(h)) => {
+                    if p.arities != h.arities() {
+                        return Err(PlanError::StateArityMismatch {
+                            state: p.arities.clone(),
+                            spec: h.arities(),
+                        });
+                    }
+                }
+                _ => unreachable!("kind mismatch is caught above"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`PlanSpec`]/[`PlanState`] combination is illegal. The `Display`
+/// texts follow the workspace's canonical `geographer config:` convention
+/// — the `k` texts are *identical* to [`geographer::validate_k`]'s panic
+/// messages, so a bad `k` reads the same no matter which layer catches it
+/// first (pinned by `error_texts_are_pinned` below).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Mesh view points/weights lengths differ.
+    MeshLengths {
+        /// Number of points in the view.
+        points: usize,
+        /// Number of weights in the view.
+        weights: usize,
+    },
+    /// Mesh graph vertex count differs from the point count.
+    GraphLength {
+        /// Vertices in the graph.
+        graph: usize,
+        /// Points in the view.
+        points: usize,
+    },
+    /// `k = 0`.
+    KZero,
+    /// `k` exceeds the point count.
+    KExceedsN {
+        /// Requested block count.
+        k: usize,
+        /// Global point count.
+        n: u64,
+    },
+    /// `k` disagrees with the hierarchy's leaf count.
+    KHierarchyMismatch {
+        /// Requested block count.
+        k: usize,
+        /// The hierarchy's `total_blocks()`.
+        total: usize,
+    },
+    /// Hierarchical spec with a non-Geographer tool.
+    HierarchicalTool {
+        /// The offending tool's name.
+        tool: &'static str,
+    },
+    /// Hierarchical spec with flat `Config::target_fractions` set.
+    HierarchicalFlatFractions,
+    /// Hierarchical spec with [`RefineMode::Single`].
+    HierarchicalSingleRefine,
+    /// Refinement requested without a mesh graph.
+    MissingGraph,
+    /// Warm state handed to a stateless (baseline) tool.
+    StatelessTool {
+        /// The offending tool's name.
+        tool: &'static str,
+    },
+    /// Flat state handed to a hierarchical spec or vice versa.
+    StateKindMismatch {
+        /// The state's kind.
+        state: &'static str,
+        /// The spec's kind.
+        spec: &'static str,
+    },
+    /// Flat state block count disagrees with the spec's `k`.
+    StateSizeMismatch {
+        /// Blocks in the state.
+        state_k: usize,
+        /// Blocks in the spec.
+        k: usize,
+    },
+    /// Hierarchical state arities disagree with the spec's hierarchy.
+    StateArityMismatch {
+        /// Arities of the state.
+        state: Vec<usize>,
+        /// Arities of the spec.
+        spec: Vec<usize>,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::MeshLengths { points, weights } => write!(
+                f,
+                "geographer config: mesh view points and weights lengths differ \
+                 ({points} vs {weights})"
+            ),
+            PlanError::GraphLength { graph, points } => write!(
+                f,
+                "geographer config: mesh graph has {graph} vertices but the view has \
+                 {points} points"
+            ),
+            PlanError::KZero => write!(f, "geographer config: k must be at least 1"),
+            PlanError::KExceedsN { k, n } => {
+                write!(f, "geographer config: k = {k} exceeds global point count n = {n}")
+            }
+            PlanError::KHierarchyMismatch { k, total } => write!(
+                f,
+                "geographer config: k = {k} does not match the hierarchy's {total} leaf blocks"
+            ),
+            PlanError::HierarchicalTool { tool } => write!(
+                f,
+                "geographer config: hierarchical specs require the Geographer tool (got {tool})"
+            ),
+            PlanError::HierarchicalFlatFractions => write!(
+                f,
+                "geographer config: hierarchical solves take capacity fractions from the \
+                 HierarchySpec's levels; Config::target_fractions must be None"
+            ),
+            PlanError::HierarchicalSingleRefine => write!(
+                f,
+                "geographer config: hierarchical specs take RefineMode::None or \
+                 RefineMode::Multilevel (a single flat sweep has no per-level semantics)"
+            ),
+            PlanError::MissingGraph => write!(
+                f,
+                "geographer config: refinement requires the mesh graph in the plan spec"
+            ),
+            PlanError::StatelessTool { tool } => write!(
+                f,
+                "geographer config: tool {tool} is stateless and cannot consume a warm \
+                 plan state"
+            ),
+            PlanError::StateKindMismatch { state, spec } => write!(
+                f,
+                "geographer config: {state} plan state handed to a {spec} spec"
+            ),
+            PlanError::StateSizeMismatch { state_k, k } => write!(
+                f,
+                "geographer config: plan state carries {state_k} blocks but the spec \
+                 requests k = {k}"
+            ),
+            PlanError::StateArityMismatch { state, spec } => write!(
+                f,
+                "geographer config: plan state arities {state:?} do not match the spec's \
+                 {spec:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geographer_geometry::SplitMix64;
+
+    fn points(n: usize, seed: u64) -> (Vec<Point<2>>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let pts: Vec<Point<2>> =
+            (0..n).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let w = vec![1.0; n];
+        (pts, w)
+    }
+
+    fn view<'a>(pts: &'a [Point<2>], w: &'a [f64]) -> MeshView<'a, 2> {
+        MeshView { points: pts, weights: w, graph: None }
+    }
+
+    #[test]
+    fn legal_specs_validate() {
+        let (pts, w) = points(64, 1);
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Geographer, 4, Config::default());
+        assert!(spec.validate(None).is_ok());
+        let spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec::uniform(&[2, 2]),
+            Config::default(),
+        );
+        assert_eq!(spec.k, 4);
+        assert!(spec.validate(None).is_ok());
+    }
+
+    #[test]
+    fn leaf_fractions_multiply_levels() {
+        let (pts, w) = points(16, 2);
+        let spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec {
+                levels: vec![
+                    geographer::LevelSpec {
+                        arity: 2,
+                        epsilon: None,
+                        fractions: Some(vec![3.0, 1.0]),
+                    },
+                    geographer::LevelSpec::uniform(2),
+                ],
+            },
+            Config::default(),
+        );
+        let f = spec.leaf_fractions().unwrap();
+        assert_eq!(f, vec![0.75, 0.75, 0.25, 0.25]);
+        // Uniform hierarchy: no explicit fractions.
+        let spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec::uniform(&[2, 2]),
+            Config::default(),
+        );
+        assert!(spec.leaf_fractions().is_none());
+    }
+
+    /// The satellite contract of ISSUE 6: the planner's validation errors
+    /// share the `geographer config:` convention, and the `k` texts are
+    /// bitwise identical to `validate_k`'s panics.
+    #[test]
+    fn error_texts_are_pinned() {
+        assert_eq!(
+            PlanError::KZero.to_string(),
+            "geographer config: k must be at least 1"
+        );
+        assert_eq!(
+            PlanError::KExceedsN { k: 11, n: 10 }.to_string(),
+            "geographer config: k = 11 exceeds global point count n = 10"
+        );
+        assert_eq!(
+            PlanError::HierarchicalFlatFractions.to_string(),
+            "geographer config: hierarchical solves take capacity fractions from the \
+             HierarchySpec's levels; Config::target_fractions must be None"
+        );
+        assert_eq!(
+            PlanError::StateKindMismatch { state: "flat", spec: "hierarchical" }.to_string(),
+            "geographer config: flat plan state handed to a hierarchical spec"
+        );
+        assert_eq!(
+            PlanError::StatelessTool { tool: "RCB" }.to_string(),
+            "geographer config: tool RCB is stateless and cannot consume a warm plan state"
+        );
+        assert_eq!(
+            PlanError::KHierarchyMismatch { k: 7, total: 8 }.to_string(),
+            "geographer config: k = 7 does not match the hierarchy's 8 leaf blocks"
+        );
+        assert_eq!(
+            PlanError::HierarchicalSingleRefine.to_string(),
+            "geographer config: hierarchical specs take RefineMode::None or \
+             RefineMode::Multilevel (a single flat sweep has no per-level semantics)"
+        );
+        assert_eq!(
+            PlanError::MissingGraph.to_string(),
+            "geographer config: refinement requires the mesh graph in the plan spec"
+        );
+        assert_eq!(
+            PlanError::StateSizeMismatch { state_k: 3, k: 4 }.to_string(),
+            "geographer config: plan state carries 3 blocks but the spec requests k = 4"
+        );
+        assert_eq!(
+            PlanError::StateArityMismatch { state: vec![2, 2], spec: vec![4, 2] }.to_string(),
+            "geographer config: plan state arities [2, 2] do not match the spec's [4, 2]"
+        );
+        assert_eq!(
+            PlanError::HierarchicalTool { tool: "HSFC" }.to_string(),
+            "geographer config: hierarchical specs require the Geographer tool (got HSFC)"
+        );
+        assert_eq!(
+            PlanError::MeshLengths { points: 4, weights: 3 }.to_string(),
+            "geographer config: mesh view points and weights lengths differ (4 vs 3)"
+        );
+        assert_eq!(
+            PlanError::GraphLength { graph: 5, points: 4 }.to_string(),
+            "geographer config: mesh graph has 5 vertices but the view has 4 points"
+        );
+    }
+
+    /// Same `k` failure, same text, both layers — the unification the
+    /// satellite asks for, checked end to end.
+    #[test]
+    fn k_texts_match_validate_k_panics() {
+        for (k, n) in [(0usize, 10u64), (11, 10)] {
+            let panic_text = std::panic::catch_unwind(|| geographer::validate_k(k, n))
+                .expect_err("validate_k must panic");
+            let panic_text = panic_text
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| {
+                    panic_text.downcast_ref::<&'static str>().map(|s| (*s).to_owned())
+                })
+                .expect("panic payload must be a string");
+            let typed = if k == 0 {
+                PlanError::KZero
+            } else {
+                PlanError::KExceedsN { k, n }
+            };
+            assert_eq!(typed.to_string(), panic_text);
+        }
+    }
+
+    #[test]
+    fn illegal_combinations_are_rejected() {
+        let (pts, w) = points(64, 3);
+        // Flat state → hierarchical spec.
+        let spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec::uniform(&[2, 2]),
+            Config::default(),
+        );
+        let state = PlanState::Flat(PreviousPartition {
+            centers: vec![pts[0]; 4],
+            influence: vec![1.0; 4],
+        });
+        assert_eq!(
+            spec.validate(Some(&state)),
+            Err(PlanError::StateKindMismatch { state: "flat", spec: "hierarchical" })
+        );
+        // Warm state on a stateless tool.
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Rcb, 4, Config::default());
+        assert_eq!(
+            spec.validate(Some(&state)),
+            Err(PlanError::StatelessTool { tool: "RCB" })
+        );
+        // Hierarchy on a baseline tool.
+        let mut spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec::uniform(&[2, 2]),
+            Config::default(),
+        );
+        spec.tool = Tool::Hsfc;
+        assert_eq!(
+            spec.validate(None),
+            Err(PlanError::HierarchicalTool { tool: "HSFC" })
+        );
+        // k must match the hierarchy.
+        let mut spec = PlanSpec::hierarchical(
+            view(&pts, &w),
+            HierarchySpec::uniform(&[2, 2]),
+            Config::default(),
+        );
+        spec.k = 7;
+        assert_eq!(
+            spec.validate(None),
+            Err(PlanError::KHierarchyMismatch { k: 7, total: 4 })
+        );
+        // Refinement without a graph.
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Geographer, 4, Config::default())
+            .with_refine(RefineMode::Single(RefineConfig::default()));
+        assert_eq!(spec.validate(None), Err(PlanError::MissingGraph));
+        // k out of range uses the canonical texts.
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Geographer, 65, Config::default());
+        assert_eq!(spec.validate(None), Err(PlanError::KExceedsN { k: 65, n: 64 }));
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Geographer, 0, Config::default());
+        assert_eq!(spec.validate(None), Err(PlanError::KZero));
+    }
+
+    #[test]
+    fn mismatched_flat_state_rejected() {
+        let (pts, w) = points(32, 4);
+        let spec = PlanSpec::flat(view(&pts, &w), Tool::Geographer, 4, Config::default());
+        let state = PlanState::Flat(PreviousPartition {
+            centers: vec![pts[0]; 3],
+            influence: vec![1.0; 3],
+        });
+        assert_eq!(
+            spec.validate(Some(&state)),
+            Err(PlanError::StateSizeMismatch { state_k: 3, k: 4 })
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The five evaluated partitioning tools behind one dispatch enum.
+//!
+//! This used to live in `geographer_bench::driver`; it moved here so the
+//! [`crate::Planner`] — the single entry point every bench binary and the
+//! future service daemon route through — can name a tool in a
+//! [`crate::PlanSpec`] without depending on the experiment harness.
+//! `geographer_bench` re-exports it, so harness callers are unaffected.
+
+use geographer::Config;
+use geographer_baselines::Baseline;
+use geographer_geometry::Point;
+use geographer_parcomm::Comm;
+
+/// The five evaluated tools, in the paper's presentation order
+/// (Geographer first, then the Zoltan geometric partitioners).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// Balanced k-means with SFC bootstrap (the paper's contribution).
+    Geographer,
+    /// Hilbert space-filling-curve cuts (zoltanSFC).
+    Hsfc,
+    /// MultiJagged multisection.
+    MultiJagged,
+    /// Recursive coordinate bisection.
+    Rcb,
+    /// Recursive inertial bisection.
+    Rib,
+}
+
+impl Tool {
+    /// All five tools.
+    pub const ALL: [Tool; 5] =
+        [Tool::Geographer, Tool::Hsfc, Tool::MultiJagged, Tool::Rcb, Tool::Rib];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::Geographer => "Geographer",
+            Tool::Hsfc => "HSFC",
+            Tool::MultiJagged => "MultiJagged",
+            Tool::Rcb => "RCB",
+            Tool::Rib => "RIB",
+        }
+    }
+
+    /// Whether this tool produces reusable warm-start state (centers +
+    /// influences). The four baselines are one-shot: handing them a
+    /// previous plan state is a configuration error the planner rejects
+    /// with [`crate::PlanError::StatelessTool`].
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Tool::Geographer)
+    }
+
+    /// Run this tool on the rank-local shard (SPMD collective call).
+    pub fn partition_spmd<const D: usize, C: Comm>(
+        &self,
+        comm: &C,
+        points: &[Point<D>],
+        weights: &[f64],
+        k: usize,
+        cfg: &Config,
+    ) -> Vec<u32> {
+        match self {
+            Tool::Geographer => {
+                geographer::partition_spmd(comm, points, weights, k, cfg).assignment
+            }
+            Tool::Hsfc => Baseline::Hsfc.partition_spmd(comm, points, weights, k),
+            Tool::MultiJagged => {
+                Baseline::MultiJagged.partition_spmd(comm, points, weights, k)
+            }
+            Tool::Rcb => Baseline::Rcb.partition_spmd(comm, points, weights, k),
+            Tool::Rib => Baseline::Rib.partition_spmd(comm, points, weights, k),
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`geographer_mesh`] — workload generators;
 //! * [`geographer_graph`] — CSR graphs and partition metrics;
 //! * [`geographer_parcomm`] — the SPMD communication layer;
+//! * [`geographer_planner`] — the unified `PlanSpec`/`PlanState`/`Plan`
+//!   solver front-end over pipeline, warm start, hierarchy, and
+//!   refinement;
 //! * [`geographer_refine`] — graph-aware boundary refinement;
 //! * [`geographer_dsort`] — distributed sorting/selection;
 //! * [`geographer_sfc`] — Hilbert curves;
@@ -25,6 +28,7 @@ pub use geographer_geometry;
 pub use geographer_graph;
 pub use geographer_mesh;
 pub use geographer_parcomm;
+pub use geographer_planner;
 pub use geographer_refine;
 pub use geographer_sfc;
 pub use geographer_spmv;

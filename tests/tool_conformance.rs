@@ -5,11 +5,17 @@
 //! agreement for the tools whose cuts depend on inexact cross-rank
 //! floating-point sums; see DESIGN.md §1 for the policy).
 //!
+//! Since the planner unification, every configuration here routes through
+//! [`geographer_planner::Planner::solve`] — the same entry point the bench
+//! binaries use — via the bench harness's [`PlanRecipe`]/[`solve_plan`].
+//! The legacy `run_tool` facade is pinned against the planner's answer
+//! bitwise, so the two entry points cannot drift apart.
+//!
 //! The rank counts deliberately include a non-power-of-two (p = 7) so the
 //! butterfly collectives' fold/unfold path is exercised by every tool.
 
 use geographer::Config;
-use geographer_bench::{run_tool, Tool};
+use geographer_bench::{run_tool, solve_plan, PlanRecipe, Tool};
 use geographer_mesh::{delaunay_unit_square, families::bubbles_like, Mesh};
 
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 7];
@@ -37,28 +43,36 @@ fn conformance(mesh: &Mesh<2>, family: &str) {
     let cfg = Config { sampling_init: false, ..Config::default() };
     for tool in Tool::ALL {
         let exact = EXACT_TOOLS.contains(&tool);
-        let reference = run_tool(tool, mesh, K, 1, &cfg).assignment;
+        let recipe = PlanRecipe::flat(tool.name(), tool, K, cfg.clone());
+        let reference = solve_plan(mesh, &recipe, 1, None).plan.assignment;
         for p in RANK_COUNTS {
             let label = format!("{} on {family} at p={p}", tool.name());
-            let out = run_tool(tool, mesh, K, p, &cfg);
+            let plan = solve_plan(mesh, &recipe, p, None).plan;
             // Assignment length preserved, ids in range, no empty block.
-            assert_eq!(out.assignment.len(), mesh.n(), "{label}: length");
-            let counts = block_sizes(&out.assignment, K, &label);
+            assert_eq!(plan.assignment.len(), mesh.n(), "{label}: length");
+            let counts = block_sizes(&plan.assignment, K, &label);
             assert!(
                 counts.iter().all(|&c| c > 0),
                 "{label}: empty block, sizes {counts:?}"
             );
             // SPMD vs single-rank agreement.
             if exact {
-                assert_eq!(out.assignment, reference, "{label}: must be bitwise invariant");
+                assert_eq!(plan.assignment, reference, "{label}: must be bitwise invariant");
             } else {
-                let agree = agreement(&out.assignment, &reference);
+                let agree = agreement(&plan.assignment, &reference);
                 assert!(
                     agree >= 0.995,
                     "{label}: only {:.2}% agreement with p=1",
                     agree * 100.0
                 );
             }
+            // The legacy driver facade must agree with the planner route
+            // bitwise — one partitioning pipeline, two doors.
+            let facade = run_tool(tool, mesh, K, p, &cfg);
+            assert_eq!(
+                facade.assignment, plan.assignment,
+                "{label}: run_tool facade diverged from Planner::solve"
+            );
         }
     }
 }
