@@ -34,6 +34,7 @@ struct ConfigRow {
     name: String,
     machine: String,
     wall_s: f64,
+    wall_max_rank_s: f64,
     imbalance: f64,
     levels: Vec<LevelMetrics>,
     inter_node_volume: u64,
@@ -47,6 +48,7 @@ fn row_for(
     assignment: &[u32],
     spec: &HierarchySpec,
     wall_s: f64,
+    wall_max_rank_s: f64,
     model: &TieredCostModel,
 ) -> ConfigRow {
     let levels = evaluate_levels(&mesh.graph, assignment, &spec.level_groups());
@@ -57,6 +59,7 @@ fn row_for(
         name: name.to_string(),
         machine: format!("{:?}", spec.arities()),
         wall_s,
+        wall_max_rank_s,
         imbalance: imbalance(assignment, &mesh.weights, spec.total_blocks()),
         modeled_exchange_s: model.exchange_seconds(8 * intra, 8 * inter),
         inter_node_volume: inter,
@@ -88,6 +91,7 @@ fn main() {
             &flat.plan.assignment,
             &spec,
             flat.wall_seconds,
+            flat.wall_max_rank_s,
             &model,
         ));
         let recipe = PlanRecipe::hierarchical(
@@ -104,6 +108,7 @@ fn main() {
             &hier.plan.assignment,
             &spec,
             hier.wall_seconds,
+            hier.wall_max_rank_s,
             &model,
         ));
     }
@@ -122,12 +127,15 @@ fn main() {
         let _ = write!(
             rows_json,
             "{}    {{\"config\": \"{}\", \"machine\": \"{}\", \"wall_s\": {:.4}, \
+             \"wall_max_rank_s\": {:.4}, \"ns_per_point\": {:.1}, \
              \"imbalance\": {:.5}, \"inter_node_volume\": {}, \"intra_node_volume\": {}, \
              \"modeled_exchange_s\": {:.6},\n     \"levels\": [{}]}}",
             if i > 0 { ",\n" } else { "" },
             r.name,
             r.machine,
             r.wall_s,
+            r.wall_max_rank_s,
+            geographer_bench::PlanRun::<2>::ns_per_point(r.wall_max_rank_s, n),
             r.imbalance,
             r.inter_node_volume,
             r.intra_node_volume,

@@ -35,10 +35,14 @@ struct Row {
     single_moves: usize,
     single_rounds: usize,
     single_wall_s: f64,
+    single_solve_wall_s: f64,
+    single_solve_max_rank_s: f64,
     multi_cut: u64,
     multi_moves: usize,
     multi_levels: usize,
     multi_wall_s: f64,
+    multi_solve_wall_s: f64,
+    multi_solve_max_rank_s: f64,
     imbalance_single: f64,
     imbalance_multi: f64,
     levels_json: String,
@@ -56,14 +60,13 @@ fn bench_one(
     // mode. The tools are deterministic (sampling off), so both start from
     // the identical partition — the assert below pins that.
     let base = PlanRecipe::flat("ml", tool, k, cfg.clone());
-    let single = solve_plan(
+    let single_run = solve_plan(
         mesh,
         &base.clone().with_refine(RefineMode::Single(rcfg.clone())),
         2,
         None,
-    )
-    .plan;
-    let multi = solve_plan(
+    );
+    let multi_run = solve_plan(
         mesh,
         &base.with_refine(RefineMode::Multilevel(MultilevelConfig {
             refine: rcfg.clone(),
@@ -71,8 +74,8 @@ fn bench_one(
         })),
         2,
         None,
-    )
-    .plan;
+    );
+    let (single, multi) = (single_run.plan, multi_run.plan);
 
     let sr = single.refine.expect("single refinement report");
     let mr = multi.refine.expect("multilevel refinement summary");
@@ -101,10 +104,14 @@ fn bench_one(
         single_moves: sr.moves,
         single_rounds: sr.rounds,
         single_wall_s: single.refine_seconds,
+        single_solve_wall_s: single_run.wall_seconds,
+        single_solve_max_rank_s: single_run.wall_max_rank_s,
         multi_cut: mr.cut_after,
         multi_moves: mr.moves,
         multi_levels: ml.levels.len(),
         multi_wall_s: multi.refine_seconds,
+        multi_solve_wall_s: multi_run.wall_seconds,
+        multi_solve_max_rank_s: multi_run.wall_max_rank_s,
         imbalance_single: imbalance(&single.assignment, &mesh.weights, k),
         imbalance_multi: imbalance(&multi.assignment, &mesh.weights, k),
         levels_json,
@@ -184,9 +191,13 @@ fn main() {
             rows_json,
             "{}    {{\"mesh\": \"{}\", \"tool\": \"{}\", \"cut_initial\": {}, \
              \"single\": {{\"cut_after\": {}, \"moves\": {}, \"rounds\": {}, \
-             \"wall_s\": {:.4}, \"imbalance\": {:.5}}},\n     \
+             \"wall_s\": {:.4}, \"solve_wall_serialized_s\": {:.4}, \
+             \"solve_wall_max_rank_s\": {:.4}, \"solve_ns_per_point\": {:.1}, \
+             \"imbalance\": {:.5}}},\n     \
              \"multilevel\": {{\"cut_after\": {}, \"moves\": {}, \"levels\": {}, \
-             \"wall_s\": {:.4}, \"imbalance\": {:.5},\n      \
+             \"wall_s\": {:.4}, \"solve_wall_serialized_s\": {:.4}, \
+             \"solve_wall_max_rank_s\": {:.4}, \"solve_ns_per_point\": {:.1}, \
+             \"imbalance\": {:.5},\n      \
              \"level_detail\": [{}]}}}}",
             if i > 0 { ",\n" } else { "" },
             r.mesh,
@@ -196,11 +207,17 @@ fn main() {
             r.single_moves,
             r.single_rounds,
             r.single_wall_s,
+            r.single_solve_wall_s,
+            r.single_solve_max_rank_s,
+            geographer_bench::PlanRun::<2>::ns_per_point(r.single_solve_max_rank_s, n),
             r.imbalance_single,
             r.multi_cut,
             r.multi_moves,
             r.multi_levels,
             r.multi_wall_s,
+            r.multi_solve_wall_s,
+            r.multi_solve_max_rank_s,
+            geographer_bench::PlanRun::<2>::ns_per_point(r.multi_solve_max_rank_s, n),
             r.imbalance_multi,
             r.levels_json
         );

@@ -45,20 +45,24 @@ fn main() {
         let _ = write!(
             runs,
             "{}    {{\"p\": {}, \"k\": {}, \"wall_serialized_s\": {:.4}, \
+             \"wall_max_rank_s\": {:.4}, \"ns_per_point\": {:.1}, \
              \"modeled_parallel_s\": {:.6}, \"rounds\": {}, \"bytes_per_rank\": {}, \
              \"per_op\": {{{}}}}}",
             if i > 0 { ",\n" } else { "" },
             p,
             k,
             run.wall_seconds,
+            run.wall_max_rank_s,
+            geographer_bench::PlanRun::<2>::ns_per_point(run.wall_max_rank_s, n),
             modeled,
             comm.rounds(),
             comm.bytes_per_rank(),
             per_op
         );
         eprintln!(
-            "p={p}: wall(serialized)={:.3}s modeled={:.4}s rounds={} bytes/rank={}",
+            "p={p}: wall(serialized)={:.3}s max-rank={:.3}s modeled={:.4}s rounds={} bytes/rank={}",
             run.wall_seconds,
+            run.wall_max_rank_s,
             modeled,
             comm.rounds(),
             comm.bytes_per_rank()

@@ -83,6 +83,7 @@ struct Summary {
     mean_migration: f64,
     max_imbalance: f64,
     total_wall: f64,
+    total_max_rank_wall: f64,
     steps: Vec<StepRow>,
 }
 
@@ -142,6 +143,7 @@ fn summarize(
         mean_migration: mean(steps[1..].iter().map(|s| s.migration)),
         max_imbalance: steps.iter().map(|s| s.imbalance).fold(0.0, f64::max),
         total_wall: chain.iter().map(|s| s.wall_seconds).sum(),
+        total_max_rank_wall: chain.iter().map(|s| s.wall_max_rank_s).sum(),
         steps,
     }
 }
@@ -282,7 +284,8 @@ fn main() {
             "{}    {{\"config\": \"{}\", \"subsystems\": \"{}\", \
              \"single_subsystem\": {}, \"mean_edge_cut\": {:.1}, \
              \"mean_inter_node_volume\": {:.1}, \"mean_migration\": {:.5}, \
-             \"max_imbalance\": {:.5}, \"wall_s\": {:.4},\n     \"steps\": [{}]}}",
+             \"max_imbalance\": {:.5}, \"wall_s\": {:.4}, \
+             \"wall_max_rank_s\": {:.4}, \"ns_per_point\": {:.1},\n     \"steps\": [{}]}}",
             if i > 0 { ",\n" } else { "" },
             s.name,
             s.subsystems,
@@ -292,6 +295,11 @@ fn main() {
             s.mean_migration,
             s.max_imbalance,
             s.total_wall,
+            s.total_max_rank_wall,
+            geographer_bench::PlanRun::<2>::ns_per_point(
+                s.total_max_rank_wall / s.steps.len().max(1) as f64,
+                n,
+            ),
             steps_json
         );
     }

@@ -36,6 +36,7 @@ struct Summary {
     label: String,
     total_wall: f64,
     restep_wall: f64,
+    restep_max_rank_wall: f64,
     migration: f64,
     weight_migration: f64,
     max_imbalance: f64,
@@ -49,6 +50,7 @@ fn summarize(label: String, steps: &[ChainStep<2>]) -> Summary {
         // Steady-state repartitioning cost: everything after the shared
         // cold bootstrap of step 0.
         restep_wall: steps[1..].iter().map(|s| s.wall_seconds).sum(),
+        restep_max_rank_wall: steps[1..].iter().map(|s| s.wall_max_rank_s).sum(),
         migration: mean(steps[1..].iter().map(|s| s.migrated_point_fraction)),
         weight_migration: mean(steps[1..].iter().map(|s| s.migrated_weight_fraction)),
         max_imbalance: steps.iter().map(|s| s.imbalance).fold(0.0, f64::max),
@@ -102,12 +104,15 @@ fn main() {
         for (j, r) in rows.iter().enumerate() {
             let _ = write!(
                 steps_json,
-                "{}{{\"step\": {}, \"wall_s\": {:.4}, \"imbalance\": {:.5}, \
+                "{}{{\"step\": {}, \"wall_s\": {:.4}, \"wall_max_rank_s\": {:.4}, \
+                 \"ns_per_point\": {:.1}, \"imbalance\": {:.5}, \
                  \"edge_cut\": {}, \"migrated_point_fraction\": {:.5}, \
                  \"migrated_weight_fraction\": {:.5}}}",
                 if j > 0 { ", " } else { "" },
                 r.step,
                 r.wall_seconds,
+                r.wall_max_rank_s,
+                geographer_bench::PlanRun::<2>::ns_per_point(r.wall_max_rank_s, n),
                 r.imbalance,
                 r.edge_cut,
                 r.migrated_point_fraction,
@@ -117,6 +122,7 @@ fn main() {
         let _ = write!(
             tools_json,
             "{}    {{\"tool\": \"{}\", \"total_wall_s\": {:.4}, \"resteps_wall_s\": {:.4}, \
+             \"resteps_max_rank_wall_s\": {:.4}, \
              \"mean_migrated_point_fraction\": {:.5}, \
              \"mean_migrated_weight_fraction\": {:.5}, \"max_imbalance\": {:.5}, \
              \"mean_edge_cut\": {:.1},\n     \"steps\": [{}]}}",
@@ -124,6 +130,7 @@ fn main() {
             s.label,
             s.total_wall,
             s.restep_wall,
+            s.restep_max_rank_wall,
             s.migration,
             s.weight_migration,
             s.max_imbalance,

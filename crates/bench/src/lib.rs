@@ -18,8 +18,8 @@ pub use driver::{
     RunOutcome, Tool, ToolRow,
 };
 pub use harness::{
-    level_metrics_json, run_plan_chain, solve_plan, write_bench_json, ChainStep, PlanRecipe,
-    PlanRun,
+    level_metrics_json, run_plan_chain, solve_plan, solve_plan_view, write_bench_json,
+    ChainStep, PlanRecipe, PlanRun,
 };
 pub use table::TextTable;
 

@@ -37,15 +37,28 @@ pub struct Relaxation {
 }
 
 impl Relaxation {
+    /// Empty relaxation scratch with room for `k` clusters, to be refilled
+    /// in place by [`Relaxation::set_influence_only`] /
+    /// [`Relaxation::set_movement`] every iteration — the solver owns one
+    /// and the update loops allocate nothing.
+    pub fn with_capacity(k: usize) -> Self {
+        Relaxation { ratio: Vec::with_capacity(k), shift: Vec::with_capacity(k) }
+    }
+
     /// Relaxation for an influence-only change (no center movement).
     pub fn influence_only(old_influence: &[f64], new_influence: &[f64]) -> Self {
+        let mut r = Relaxation::with_capacity(old_influence.len());
+        r.set_influence_only(old_influence, new_influence);
+        r
+    }
+
+    /// Refill as an influence-only relaxation, reusing the buffers.
+    pub fn set_influence_only(&mut self, old_influence: &[f64], new_influence: &[f64]) {
         debug_assert_eq!(old_influence.len(), new_influence.len());
-        let ratio = old_influence
-            .iter()
-            .zip(new_influence)
-            .map(|(o, n)| o / n)
-            .collect();
-        Relaxation { ratio, shift: vec![0.0; old_influence.len()] }
+        self.ratio.clear();
+        self.ratio.extend(old_influence.iter().zip(new_influence).map(|(o, n)| o / n));
+        self.shift.clear();
+        self.shift.resize(old_influence.len(), 0.0);
     }
 
     /// Relaxation for center movement `delta[c]` combined with an influence
@@ -55,15 +68,24 @@ impl Relaxation {
         old_influence: &[f64],
         new_influence: &[f64],
     ) -> Self {
+        let mut r = Relaxation::with_capacity(delta.len());
+        r.set_movement(delta, old_influence, new_influence);
+        r
+    }
+
+    /// Refill as a movement relaxation, reusing the buffers.
+    pub fn set_movement(
+        &mut self,
+        delta: &[f64],
+        old_influence: &[f64],
+        new_influence: &[f64],
+    ) {
         debug_assert_eq!(delta.len(), old_influence.len());
         debug_assert_eq!(delta.len(), new_influence.len());
-        let ratio = old_influence
-            .iter()
-            .zip(new_influence)
-            .map(|(o, n)| o / n)
-            .collect();
-        let shift = delta.iter().zip(new_influence).map(|(d, n)| d / n).collect();
-        Relaxation { ratio, shift }
+        self.ratio.clear();
+        self.ratio.extend(old_influence.iter().zip(new_influence).map(|(o, n)| o / n));
+        self.shift.clear();
+        self.shift.extend(delta.iter().zip(new_influence).map(|(d, n)| d / n));
     }
 
     /// The scalar pair used for the lower bound: worst-case ratio and shift

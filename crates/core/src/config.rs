@@ -43,6 +43,12 @@ pub struct Config {
     /// single-rank (shared-memory) mode; leave off under `ThreadComm`,
     /// where ranks already occupy the cores.
     pub parallel_local: bool,
+    /// Run the assignment pass through the blocked structure-of-arrays
+    /// kernel (per-dimension coordinate lanes, per-block center pruning;
+    /// DESIGN.md §9). Bitwise-identical to the array-of-structs reference
+    /// path — the switch exists so the equivalence stays property-testable
+    /// and the perf delta measurable, not as an accuracy trade-off.
+    pub soa_kernel: bool,
     /// Per-block target weight fractions for non-uniform block sizes (the
     /// paper's footnote 1: "When non-uniform block sizes are desired, for
     /// example when partitioning for heterogeneous architectures, this can
@@ -67,6 +73,7 @@ impl Default for Config {
             initial_sample: 100,
             seed: 0x9e0_97e5,
             parallel_local: false,
+            soa_kernel: true,
             target_fractions: None,
         }
     }
@@ -180,6 +187,7 @@ mod tests {
         assert_eq!(c.influence_change_cap, 0.05);
         assert_eq!(c.initial_sample, 100);
         assert!(c.hamerly_bounds && c.bbox_pruning && c.sampling_init);
+        assert!(c.soa_kernel, "the SoA kernel is the default assignment path");
         c.validate();
     }
 

@@ -229,6 +229,7 @@ impl<const D: usize> Walk<'_, D> {
         t.hamerly_skips += s.hamerly_skips;
         t.bbox_breaks += s.bbox_breaks;
         t.points_visited += s.points_visited;
+        t.assignment_seconds += s.assignment_seconds;
         t.converged &= s.converged;
         t.balance_achieved &= s.balance_achieved;
         t.final_imbalance = t.final_imbalance.max(s.final_imbalance);

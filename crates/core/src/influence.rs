@@ -35,6 +35,28 @@ pub fn adapt_factor(gamma: f64, dim: usize, cap: f64) -> f64 {
     gamma.powf(1.0 / dim as f64).clamp(1.0 / (1.0 + cap), 1.0 + cap)
 }
 
+/// Adapt a whole influence vector toward its targets in place (Eq. 1 over
+/// every cluster): `influence[c] *= adapt_factor(target_c/sizes[c], dim,
+/// cap)` with `target_c = total · fractions[c]`. Allocation-free — the
+/// solver calls this once per balance iteration, keeping the previous
+/// values in its own scratch for the bound relaxation that follows.
+pub fn adapt_influences(
+    influence: &mut [f64],
+    sizes: &[f64],
+    fractions: &[f64],
+    total: f64,
+    dim: usize,
+    cap: f64,
+) {
+    debug_assert_eq!(influence.len(), sizes.len());
+    debug_assert_eq!(influence.len(), fractions.len());
+    for c in 0..influence.len() {
+        let target = total * fractions[c];
+        let gamma = if sizes[c] > 0.0 { target / sizes[c] } else { f64::INFINITY };
+        influence[c] *= adapt_factor(gamma, dim, cap);
+    }
+}
+
 /// Erosion factor α(c) ∈ [0, 1) for a center that moved distance `delta`,
 /// with neighbourhood scale `beta` (paper's β(C), the average cluster
 /// diameter; we use a deterministic proxy, see [`crate::kmeans`]).
@@ -101,6 +123,22 @@ mod tests {
         let f = adapt_factor(target / size, d, 0.99);
         let new_size = size * f.powi(d as i32);
         assert!((new_size - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapt_influences_matches_scalar_loop() {
+        let sizes = [300.0, 100.0, 0.0];
+        let fractions = [0.5, 0.25, 0.25];
+        let total: f64 = sizes.iter().sum();
+        let mut infl = [1.0, 2.0, 0.5];
+        adapt_influences(&mut infl, &sizes, &fractions, total, 2, 0.05);
+        for (c, (&s, &f)) in sizes.iter().zip(&fractions).enumerate() {
+            let gamma = if s > 0.0 { total * f / s } else { f64::INFINITY };
+            let expect = [1.0, 2.0, 0.5][c] * adapt_factor(gamma, 2, 0.05);
+            assert_eq!(infl[c], expect, "cluster {c}");
+        }
+        // The empty cluster grew at the cap.
+        assert_eq!(infl[2], 0.5 * 1.05);
     }
 
     #[test]

@@ -57,6 +57,15 @@ pub struct NearestCenter {
 
 const LEAF_SIZE: usize = 4;
 
+/// Reusable explicit traversal stack for batched queries: one amortized
+/// allocation across any number of [`CenterTree::nearest_with`] calls
+/// instead of per-query recursion frames. Part of the cache-blocked query
+/// path — a block of points walks the tree through one warm cursor.
+#[derive(Debug, Default)]
+pub struct TreeCursor {
+    stack: Vec<usize>,
+}
+
 impl<const D: usize> CenterTree<D> {
     /// Build a tree over `centers` with the given `influence` values.
     ///
@@ -119,6 +128,64 @@ impl<const D: usize> CenterTree<D> {
         let mut best = NearestCenter { center: 0, eff_dist: f64::INFINITY, evals: 0 };
         self.search(self.root, p, &mut best);
         best
+    }
+
+    /// [`CenterTree::nearest`] driven through a reusable explicit stack.
+    /// The traversal is the exact depth-first order of the recursive
+    /// `search` (more promising child first, bound re-checked on entry),
+    /// so results *and* eval counts are identical — only the per-query
+    /// allocation is gone.
+    pub fn nearest_with(&self, p: &Point<D>, cursor: &mut TreeCursor) -> NearestCenter {
+        let mut best = NearestCenter { center: 0, eff_dist: f64::INFINITY, evals: 0 };
+        cursor.stack.clear();
+        cursor.stack.push(self.root);
+        while let Some(n) = cursor.stack.pop() {
+            if self.lower_bound(n, p) >= best.eff_dist {
+                continue;
+            }
+            match self.nodes[n].kind {
+                NodeKind::Leaf(lo, hi) => {
+                    for &c in &self.perm[lo..hi] {
+                        let e =
+                            p.dist(&self.centers[c as usize]) / self.influence[c as usize];
+                        best.evals += 1;
+                        if e < best.eff_dist || (e == best.eff_dist && c < best.center) {
+                            best.eff_dist = e;
+                            best.center = c;
+                        }
+                    }
+                }
+                NodeKind::Inner(l, r) => {
+                    let (first, second) = if self.lower_bound(l, p) <= self.lower_bound(r, p)
+                    {
+                        (l, r)
+                    } else {
+                        (r, l)
+                    };
+                    // Second below first: the whole first subtree is
+                    // processed before the second is even bound-checked,
+                    // matching the recursion.
+                    cursor.stack.push(second);
+                    cursor.stack.push(first);
+                }
+            }
+        }
+        best
+    }
+
+    /// Nearest center for every point of a block, appended to `out`: the
+    /// batch entry point of the ablation. One cursor (and one output
+    /// buffer) serves the whole batch, so a block of spatially adjacent
+    /// points reuses the same hot tree nodes with zero allocation.
+    pub fn nearest_batch(
+        &self,
+        points: &[Point<D>],
+        cursor: &mut TreeCursor,
+        out: &mut Vec<NearestCenter>,
+    ) {
+        out.clear();
+        out.reserve(points.len());
+        out.extend(points.iter().map(|p| self.nearest_with(p, cursor)));
     }
 
     fn search(&self, n: usize, p: &Point<D>, best: &mut NearestCenter) {
@@ -227,6 +294,26 @@ mod tests {
         }
         let avg = total_evals as f64 / queries as f64;
         assert!(avg < k as f64 / 4.0, "kd-tree should prune hard: {avg} evals/query");
+    }
+
+    #[test]
+    fn cursor_traversal_matches_recursive_search() {
+        let mut rng = SplitMix64::new(9);
+        let centers: Vec<Point<2>> =
+            (0..80).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let infl: Vec<f64> = (0..80).map(|_| 0.5 + rng.next_f64()).collect();
+        let tree = CenterTree::build(&centers, &infl);
+        let queries: Vec<Point<2>> =
+            (0..300).map(|_| Point::new([rng.next_f64(), rng.next_f64()])).collect();
+        let mut cursor = TreeCursor::default();
+        let mut batch = Vec::new();
+        tree.nearest_batch(&queries, &mut cursor, &mut batch);
+        for (p, got) in queries.iter().zip(&batch) {
+            let want = tree.nearest(p);
+            // Same center, same distance, same eval count: the iterative
+            // walk is the recursive walk.
+            assert_eq!(*got, want);
+        }
     }
 
     #[test]

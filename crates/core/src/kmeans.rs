@@ -14,7 +14,7 @@ use rayon::prelude::*;
 
 use crate::bounds::Relaxation;
 use crate::config::Config;
-use crate::influence::{adapt_factor, erode, erosion_alpha};
+use crate::influence::{adapt_influences, erode, erosion_alpha};
 
 /// Work counters, kept per rank. These feed the ablation experiments
 /// (Hamerly skip rate, Sec. 4.3's "about 80 % of the cases") and the
@@ -33,6 +33,10 @@ pub struct KMeansStats {
     pub bbox_breaks: u64,
     /// Point visits in assignment passes (skipped or not).
     pub points_visited: u64,
+    /// Wall seconds this rank spent inside assignment passes (the kernel
+    /// plus the block-weight accumulation) — the figure the scaling
+    /// benchmark's per-point assignment cost and its perf gate read.
+    pub assignment_seconds: f64,
     /// Whether the center-movement loop converged before `max_iterations`.
     pub converged: bool,
     /// Imbalance of the final assignment (max block weight / average − 1).
@@ -80,6 +84,8 @@ impl KMeansStats {
             hamerly_skips: buf[3],
             bbox_breaks: buf[4],
             points_visited: buf[5],
+            // The slowest rank bounds the phase: max, not sum.
+            assignment_seconds: comm.allreduce(self.assignment_seconds, f64::max),
             converged: self.converged,
             final_imbalance: self.final_imbalance,
             balance_achieved: self.balance_achieved,
@@ -111,6 +117,91 @@ struct Eval {
     bbox_break: bool,
 }
 
+/// Block width of the SoA kernel: points are processed in fixed-size runs
+/// whose coordinate lanes, bounds, and center shortlist fit in L1/L2.
+/// After the Hilbert redistribution consecutive points are spatial
+/// neighbours, so a block's bounding box is tiny and its per-center
+/// pruning bound eliminates most of the shortlist.
+const SOA_BLOCK: usize = 256;
+
+/// The center shortlist laid out for the SoA kernel, in bbox-sorted order.
+#[derive(Default)]
+struct CenterScratch {
+    /// `(min effective distance to the active bbox, center id)`, ascending
+    /// when pruning is enabled — the shared scan order of both kernels.
+    order: Vec<(f64, u32)>,
+    /// Sorted-center coordinates, dimension-major: lane `d` occupies
+    /// `coords[d*k..(d+1)*k]`.
+    coords: Vec<f64>,
+    /// Influence values in sorted order.
+    influence: Vec<f64>,
+    /// Original center ids in sorted order.
+    ids: Vec<u32>,
+}
+
+impl CenterScratch {
+    /// Rebuild the sorted coordinate lanes from `order` (already filled and
+    /// sorted by the caller). Allocation-free after the first call.
+    fn fill_sorted<const D: usize>(&mut self, centers: &[Point<D>], influence: &[f64]) {
+        let k = centers.len();
+        self.coords.clear();
+        self.coords.resize(D * k, 0.0);
+        self.influence.clear();
+        self.ids.clear();
+        for (j, &(_, c)) in self.order.iter().enumerate() {
+            let ci = c as usize;
+            for d in 0..D {
+                self.coords[d * k + j] = centers[ci][d];
+            }
+            self.influence.push(influence[ci]);
+            self.ids.push(c);
+        }
+    }
+}
+
+/// Per-worker scratch of the SoA kernel.
+struct KernelScratch {
+    /// Effective distances for the branch-free batch sweep — two slabs of
+    /// `k`, one per point of the pair the batch path evaluates together.
+    ebuf: Vec<f64>,
+    /// Per-center lower bound against the current block's bounding box.
+    cbound: Vec<f64>,
+    /// Survivor indices of the current block (points not Hamerly-skipped).
+    sidx: Vec<u32>,
+}
+
+impl KernelScratch {
+    fn new(k: usize) -> Self {
+        KernelScratch {
+            ebuf: vec![0.0; 2 * k],
+            cbound: vec![0.0; k],
+            sidx: Vec::with_capacity(SOA_BLOCK),
+        }
+    }
+}
+
+/// Largest center count for which the kernel computes every effective
+/// distance branch-free (then scans the batch with the pruning skips).
+/// Beyond this the skipped `sqrt`/`div` work outweighs the vectorization
+/// win and the kernel falls back to the branching scan.
+const SOA_BATCH_K: usize = 24;
+
+/// Per-span work counters returned by the SoA kernel workers.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanStats {
+    evals: u64,
+    skips: u64,
+    pruned_points: u64,
+}
+
+impl SpanStats {
+    fn add(&mut self, o: SpanStats) {
+        self.evals += o.evals;
+        self.skips += o.skips;
+        self.pruned_points += o.pruned_points;
+    }
+}
+
 /// The SPMD solver state for one `balanced_kmeans` call.
 struct Solver<'a, const D: usize> {
     points: &'a [Point<D>],
@@ -126,12 +217,296 @@ struct Solver<'a, const D: usize> {
     w_max: f64,
     /// Normalized per-block target weight fractions (uniform = 1/k each).
     fractions: Vec<f64>,
-    /// Reusable output buffer of the assignment pass, pre-sized to the
+    /// Reusable output buffer of the AoS assignment pass, pre-sized to the
     /// local point count: the hot loop writes evaluations into it in place
     /// (via `collect_into_vec` on the parallel path) instead of allocating
     /// a fresh result vector every balance iteration.
     evals: Vec<Eval>,
+    /// Structure-of-arrays copy of the coordinates (`soa[d][i]` ==
+    /// `points[i][d]`), built once per solve when the SoA kernel is on.
+    soa: Vec<Vec<f64>>,
+    /// Per-block `(lo, hi)` bounding boxes over the identity blocks
+    /// (`[b·SOA_BLOCK, (b+1)·SOA_BLOCK)`), built once per solve —
+    /// coordinates never move, so no assignment pass recomputes them.
+    block_boxes: Vec<([f64; D], [f64; D])>,
+    /// Center shortlist scratch (bbox-sorted order/coords/influence/ids).
+    cscratch: CenterScratch,
+    /// One kernel scratch per worker thread, grown on demand.
+    kscratch: Vec<KernelScratch>,
+    /// Balance/movement scratch reused across iterations — the hot loops
+    /// allocate nothing after the first iteration.
+    old_influence: Vec<f64>,
+    delta: Vec<f64>,
+    center_sums: Vec<f64>,
+    new_centers_buf: Vec<Point<D>>,
+    relax: Relaxation,
+    local_sizes: Vec<f64>,
+    global_sizes: Vec<f64>,
     stats: KMeansStats,
+}
+
+/// Reduce one point's batch of effective distances to
+/// `(best, second, best_c, evals, pruned)` — the select-based equivalent
+/// of the strict-comparison chain in [`Solver::evaluate_point`]. Under
+/// the invariant `second >= best`, on `e < best` the old best demotes to
+/// second and on ties nothing moves, exactly as `else if e < second`
+/// would. (Selects, not full arithmetic masking: the comparison branches
+/// predict well once best/second stabilize, and speculation past them
+/// beats a serialized min/max chain.)
+#[inline(always)]
+fn scan_batch(
+    pruning: bool,
+    cbound: &[f64],
+    ebuf: &[f64],
+    ids: &[u32],
+    init_c: u32,
+) -> (f64, f64, u32, u64, bool) {
+    let mut best = f64::INFINITY;
+    let mut second = f64::INFINITY;
+    let mut best_c = init_c;
+    let mut evals = 0u64;
+    let mut pruned = false;
+    for j in 0..ebuf.len() {
+        if pruning && cbound[j] > second {
+            pruned = true;
+            continue;
+        }
+        let e = ebuf[j];
+        evals += 1;
+        let lt = e < best;
+        best_c = if lt { ids[j] } else { best_c };
+        second = if lt { best } else { second.min(e) };
+        best = if lt { e } else { best };
+    }
+    (best, second, best_c, evals, pruned)
+}
+
+/// One block of the SoA kernel: derive a per-center pruning bound from
+/// the block's precomputed bounding box (`bbox`, built once per solve —
+/// coordinates never move between balance iterations), then scan every
+/// non-skipped point of the block against the (globally bbox-sorted)
+/// center shortlist. `assign`/`ub`/`lb` hold the current values on entry
+/// and the updated values on exit.
+///
+/// Bitwise-identical to [`Solver::evaluate_point`]: effective distances
+/// use the same accumulation order, the best/second updates resolve the
+/// same strict comparisons, and a center is only skipped when its block
+/// bound exceeds the current `second` — in which case evaluating it could
+/// not have changed `best`/`second`/`best_c` (the block bound is a lower
+/// bound on every effective distance within the block). The block box is
+/// contained in the active box, so its bound dominates the one the AoS
+/// path breaks on: this prunes a superset of the centers at zero cost to
+/// the result. `soa_matches_aos_across_dims_ranks_and_families` pins the
+/// equivalence.
+#[allow(clippy::too_many_arguments)]
+// Outlined on purpose: one call per 256-point block amortizes the call,
+// and the measured kernel numbers were taken in this shape.
+#[inline(never)]
+fn process_block<const D: usize>(
+    hamerly: bool,
+    pruning: bool,
+    k: usize,
+    lanes: &[&[f64]; D],
+    bbox: &([f64; D], [f64; D]),
+    cs: &CenterScratch,
+    sc: &mut KernelScratch,
+    assign: &mut [u32],
+    ub: &mut [f64],
+    lb: &mut [f64],
+    stats: &mut SpanStats,
+) {
+    let blen = assign.len();
+    let KernelScratch { ebuf, cbound, sidx } = sc;
+    let (ebuf, cbound) = (&mut ebuf[..2 * k], &mut cbound[..k]);
+    // Center coordinate lanes: `clanes[d][j]` is center j's d-coordinate,
+    // contiguous in j for the vectorizable batch loop below.
+    let clanes: [&[f64]; D] = std::array::from_fn(|d| &cs.coords[d * k..(d + 1) * k]);
+    let infl = &cs.influence[..k];
+    // Compact the points that survive the Hamerly skip; only they are
+    // scanned against the shortlist. Branchless: always write the
+    // candidate index, advance the cursor only for survivors — the
+    // skip pattern is data-dependent and would mispredict as a branch.
+    sidx.clear();
+    sidx.resize(blen, 0);
+    let mut slen = 0usize;
+    for i in 0..blen {
+        let survives = !(hamerly && ub[i] < lb[i]);
+        sidx[slen] = i as u32;
+        slen += usize::from(survives);
+    }
+    stats.skips += (blen - slen) as u64;
+    sidx.truncate(slen);
+    if slen == 0 {
+        return;
+    }
+    let (lo, hi) = bbox;
+    if pruning {
+        // Same arithmetic as `Aabb::min_dist` over the (precomputed) block
+        // box. The box covers every block point, hence every survivor, so
+        // `cbound[j]` lower-bounds center j's effective distance to any
+        // scanned point: skipping on `cbound[j] > second` is sound.
+        for j in 0..k {
+            let mut acc = 0.0;
+            for d in 0..D {
+                let c = clanes[d][j];
+                let diff = if c < lo[d] {
+                    lo[d] - c
+                } else if c > hi[d] {
+                    c - hi[d]
+                } else {
+                    0.0
+                };
+                acc += diff * diff;
+            }
+            cbound[j] = acc.sqrt() / infl[j];
+        }
+    }
+    if k <= SOA_BATCH_K {
+        // Branch-free batch sweep, two survivors at a time: every
+        // effective distance of the pair in one vectorizable loop over
+        // the contiguous center lanes (the same per-center op order as
+        // `Point::dist` — sqrt and division are exact per lane, so the
+        // values are identical), center coordinates loaded once for both
+        // points and the two sqrt/div dependency chains overlapping in
+        // the divider. A scalar reduction scan with the pruning skips
+        // then resolves each point (`scan_batch`). At small k the
+        // skipped work is cheaper than the branches.
+        let (e0, e1) = ebuf.split_at_mut(k);
+        let slen = sidx.len();
+        let mut t = 0;
+        while t + 1 < slen {
+            let i0 = sidx[t] as usize;
+            let i1 = sidx[t + 1] as usize;
+            let pv0: [f64; D] = std::array::from_fn(|d| lanes[d][i0]);
+            let pv1: [f64; D] = std::array::from_fn(|d| lanes[d][i1]);
+            for j in 0..k {
+                let mut a0 = 0.0;
+                let mut a1 = 0.0;
+                for d in 0..D {
+                    let c = clanes[d][j];
+                    let d0 = pv0[d] - c;
+                    a0 += d0 * d0;
+                    let d1 = pv1[d] - c;
+                    a1 += d1 * d1;
+                }
+                let f = infl[j];
+                e0[j] = a0.sqrt() / f;
+                e1[j] = a1.sqrt() / f;
+            }
+            for (i, eb) in [(i0, &*e0), (i1, &*e1)] {
+                let (best, second, best_c, evals, pruned) =
+                    scan_batch(pruning, cbound, eb, &cs.ids, assign[i]);
+                assign[i] = best_c;
+                ub[i] = best;
+                lb[i] = second;
+                stats.evals += evals;
+                stats.pruned_points += u64::from(pruned);
+            }
+            t += 2;
+        }
+        if t < slen {
+            let i = sidx[t] as usize;
+            let pv: [f64; D] = std::array::from_fn(|d| lanes[d][i]);
+            for j in 0..k {
+                let mut acc = 0.0;
+                for d in 0..D {
+                    let diff = pv[d] - clanes[d][j];
+                    acc += diff * diff;
+                }
+                e0[j] = acc.sqrt() / infl[j];
+            }
+            let (best, second, best_c, evals, pruned) =
+                scan_batch(pruning, cbound, e0, &cs.ids, assign[i]);
+            assign[i] = best_c;
+            ub[i] = best;
+            lb[i] = second;
+            stats.evals += evals;
+            stats.pruned_points += u64::from(pruned);
+        }
+    } else {
+        // Large shortlists: branching skip-scan — the batch would spend
+        // sqrt/div on centers the evolving `second` bound rules out.
+        for &i in sidx.iter() {
+            let i = i as usize;
+            let mut best = f64::INFINITY;
+            let mut second = f64::INFINITY;
+            let mut best_c = assign[i];
+            let mut evals = 0u64;
+            let mut pruned = false;
+            for j in 0..k {
+                if pruning && cbound[j] > second {
+                    pruned = true;
+                    continue;
+                }
+                // Explicit distance-squared over the contiguous lanes, same
+                // accumulation order as `Point::dist_sq`.
+                let mut acc = 0.0;
+                for d in 0..D {
+                    let diff = lanes[d][i] - clanes[d][j];
+                    acc += diff * diff;
+                }
+                let e = acc.sqrt() / infl[j];
+                evals += 1;
+                if e < best {
+                    second = best;
+                    best = e;
+                    best_c = cs.ids[j];
+                } else if e < second {
+                    second = e;
+                }
+            }
+            assign[i] = best_c;
+            ub[i] = best;
+            lb[i] = second;
+            stats.evals += evals;
+            stats.pruned_points += u64::from(pruned);
+        }
+    }
+}
+
+/// Run the blocked SoA kernel over one contiguous identity span starting
+/// at point `off`, updating the `assign`/`ub`/`lb` sub-slices in place —
+/// the steady-state path gathers and scatters nothing. `off` must be a
+/// multiple of [`SOA_BLOCK`] so the span's blocks line up with the
+/// precomputed per-block boxes in `boxes`.
+#[allow(clippy::too_many_arguments)]
+fn soa_span_identity<const D: usize>(
+    hamerly: bool,
+    pruning: bool,
+    k: usize,
+    soa: &[Vec<f64>],
+    boxes: &[([f64; D], [f64; D])],
+    cs: &CenterScratch,
+    off: usize,
+    assign: &mut [u32],
+    ub: &mut [f64],
+    lb: &mut [f64],
+    sc: &mut KernelScratch,
+) -> SpanStats {
+    debug_assert_eq!(off % SOA_BLOCK, 0, "span offset must be block-aligned");
+    let mut stats = SpanStats::default();
+    let len = assign.len();
+    let mut b = 0;
+    while b < len {
+        let blen = SOA_BLOCK.min(len - b);
+        let lanes: [&[f64]; D] =
+            std::array::from_fn(|d| &soa[d][off + b..off + b + blen]);
+        process_block::<D>(
+            hamerly,
+            pruning,
+            k,
+            &lanes,
+            &boxes[(off + b) / SOA_BLOCK],
+            cs,
+            sc,
+            &mut assign[b..b + blen],
+            &mut ub[b..b + blen],
+            &mut lb[b..b + blen],
+            &mut stats,
+        );
+        b += blen;
+    }
+    stats
 }
 
 impl<const D: usize> Solver<'_, D> {
@@ -174,14 +549,101 @@ impl<const D: usize> Solver<'_, D> {
         Eval { assignment: best_c, ub: best, lb: second, evals, skipped: false, bbox_break }
     }
 
-    /// Algorithm 1: assign points, rebalance influences until the partition
-    /// is balanced or `max_balance_iterations` is hit. Returns the global
-    /// block weights of the final assignment.
-    fn assign_and_balance<C: Comm>(&mut self, comm: &C, active: &[u32]) -> Vec<f64> {
+    /// One assignment pass through the blocked SoA kernel, updating
+    /// `assignment`/`ub`/`lb` for every point. Only called when the active
+    /// list is exactly `0..n_local` (the steady state once sampling has
+    /// grown to the full set): coordinate lanes and output arrays are
+    /// sliced directly with no gather/scatter — shuffled sampling rounds
+    /// take the AoS path instead, whose random-access loads are cheaper
+    /// than gathering dimension-major lanes and scattering results back.
+    fn soa_assignment_pass(&mut self, active: &[u32]) {
+        let len = active.len();
+        if len == 0 {
+            return;
+        }
         let k = self.k;
-        let mut global_sizes = vec![0.0f64; k];
-        let mut local_sizes = vec![0.0f64; k];
-        let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(k);
+        let hamerly = self.cfg.hamerly_bounds;
+        let pruning = self.cfg.bbox_pruning;
+        let nt = if self.cfg.parallel_local && len >= 4096 {
+            rayon::current_num_threads().clamp(1, len.div_ceil(SOA_BLOCK))
+        } else {
+            1
+        };
+        if self.kscratch.len() < nt {
+            let kk = k;
+            self.kscratch.resize_with(nt, || KernelScratch::new(kk));
+        }
+        // Block-aligned spans: every worker's blocks then coincide with
+        // the solve-wide blocks whose boxes were precomputed up front.
+        let span = len.div_ceil(nt).next_multiple_of(SOA_BLOCK);
+        let soa = &self.soa;
+        let boxes = &self.block_boxes[..];
+        let cs = &self.cscratch;
+        let mut total = SpanStats::default();
+        debug_assert!(active.first().is_none_or(|&p| p == 0));
+        debug_assert_eq!(len, self.assignment.len());
+        let assign = &mut self.assignment[..len];
+        let ub = &mut self.ub[..len];
+        let lb = &mut self.lb[..len];
+        if nt == 1 {
+            total = soa_span_identity::<D>(
+                hamerly,
+                pruning,
+                k,
+                soa,
+                boxes,
+                cs,
+                0,
+                assign,
+                ub,
+                lb,
+                &mut self.kscratch[0],
+            );
+        } else {
+            // Scoped workers over disjoint contiguous spans — the same
+            // disjoint-chunk discipline the rayon shim's
+            // `collect_into_vec` uses, without staging an Eval per
+            // point. Span boundaries (hence block boundaries and the
+            // pruning counters) depend on `nt`, the results do not.
+            std::thread::scope(|s| {
+                let mut joins = Vec::new();
+                let mut rest = (assign, ub, lb);
+                let mut scratch = self.kscratch.iter_mut();
+                let mut off = 0;
+                while off < len {
+                    let take = span.min(len - off);
+                    let (a, ra) = rest.0.split_at_mut(take);
+                    let (u, ru) = rest.1.split_at_mut(take);
+                    let (l, rl) = rest.2.split_at_mut(take);
+                    rest = (ra, ru, rl);
+                    let sc = scratch.next().expect("one scratch per span");
+                    joins.push(s.spawn(move || {
+                        soa_span_identity::<D>(
+                            hamerly, pruning, k, soa, boxes, cs, off, a, u, l, sc,
+                        )
+                    }));
+                    off += take;
+                }
+                for j in joins {
+                    total.add(j.join().expect("soa kernel worker panicked"));
+                }
+            });
+        }
+        self.stats.points_visited += len as u64;
+        self.stats.distance_evals += total.evals;
+        self.stats.hamerly_skips += total.skips;
+        self.stats.bbox_breaks += total.pruned_points;
+    }
+
+    /// Algorithm 1: assign points, rebalance influences until the partition
+    /// is balanced or `max_balance_iterations` is hit. The final global
+    /// block weights are left in `self.global_sizes`.
+    fn assign_and_balance<C: Comm>(&mut self, comm: &C, active: &[u32], identity: bool) {
+        let k = self.k;
+        self.global_sizes.clear();
+        self.global_sizes.resize(k, 0.0);
+        self.local_sizes.clear();
+        self.local_sizes.resize(k, 0.0);
         for balance_iter in 0..self.cfg.max_balance_iterations {
             self.stats.balance_iterations += 1;
 
@@ -190,59 +652,79 @@ impl<const D: usize> Solver<'_, D> {
             // (see DESIGN.md erratum 4 — the paper prints maxDist, which
             // would make the early break unsound).
             let bb = Aabb::from_points_indexed(self.points, active);
-            sorted.clear();
-            sorted.extend((0..k as u32).map(|c| {
+            let (centers, influence) = (&self.centers, &self.influence);
+            self.cscratch.order.clear();
+            self.cscratch.order.extend((0..k as u32).map(|c| {
                 let d = match &bb {
                     Some(bb) => {
-                        bb.min_dist(&self.centers[c as usize])
-                            / self.influence[c as usize]
+                        bb.min_dist(&centers[c as usize]) / influence[c as usize]
                     }
                     None => 0.0,
                 };
                 (d, c)
             }));
             if self.cfg.bbox_pruning {
-                sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                self.cscratch
+                    .order
+                    .sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             }
 
-            // Assignment pass over the active points, written into the
-            // solver's reusable buffer — no per-point allocation.
-            let use_rayon = self.cfg.parallel_local && active.len() >= 4096;
-            let mut evals = std::mem::take(&mut self.evals);
-            {
-                let this: &Solver<'_, D> = self;
-                if use_rayon {
-                    active
-                        .par_iter()
-                        .map(|&p| this.evaluate_point(p as usize, &sorted))
-                        .collect_into_vec(&mut evals);
-                } else {
-                    evals.clear();
-                    evals.extend(
-                        active.iter().map(|&p| this.evaluate_point(p as usize, &sorted)),
-                    );
+            let assign_t0 = std::time::Instant::now();
+            if self.cfg.soa_kernel && identity {
+                self.cscratch.fill_sorted::<D>(&self.centers, &self.influence);
+                self.soa_assignment_pass(active);
+                // Block-weight accumulation stays a single serial pass in
+                // active order so the sums are bitwise-independent of the
+                // worker count (and identical to the AoS path's).
+                self.local_sizes.iter_mut().for_each(|s| *s = 0.0);
+                for &p in active {
+                    let p = p as usize;
+                    self.local_sizes[self.assignment[p] as usize] += self.weights[p];
                 }
-            }
+            } else {
+                // AoS path: per-point Evals through the solver's reusable
+                // buffer — no per-point allocation. Also serves shuffled
+                // sampling rounds when the SoA kernel is on: random-access
+                // point loads beat gathering lanes + scattering results.
+                let use_rayon = self.cfg.parallel_local && active.len() >= 4096;
+                let mut evals = std::mem::take(&mut self.evals);
+                {
+                    let this: &Solver<'_, D> = self;
+                    let sorted = &this.cscratch.order;
+                    if use_rayon {
+                        active
+                            .par_iter()
+                            .map(|&p| this.evaluate_point(p as usize, sorted))
+                            .collect_into_vec(&mut evals);
+                    } else {
+                        evals.clear();
+                        evals.extend(
+                            active.iter().map(|&p| this.evaluate_point(p as usize, sorted)),
+                        );
+                    }
+                }
 
-            local_sizes.iter_mut().for_each(|s| *s = 0.0);
-            for (&p, ev) in active.iter().zip(&evals) {
-                let p = p as usize;
-                self.assignment[p] = ev.assignment;
-                self.ub[p] = ev.ub;
-                self.lb[p] = ev.lb;
-                self.stats.points_visited += 1;
-                self.stats.distance_evals += ev.evals as u64;
-                self.stats.hamerly_skips += u64::from(ev.skipped);
-                self.stats.bbox_breaks += u64::from(ev.bbox_break);
-                local_sizes[ev.assignment as usize] += self.weights[p];
+                self.local_sizes.iter_mut().for_each(|s| *s = 0.0);
+                for (&p, ev) in active.iter().zip(&evals) {
+                    let p = p as usize;
+                    self.assignment[p] = ev.assignment;
+                    self.ub[p] = ev.ub;
+                    self.lb[p] = ev.lb;
+                    self.stats.points_visited += 1;
+                    self.stats.distance_evals += ev.evals as u64;
+                    self.stats.hamerly_skips += u64::from(ev.skipped);
+                    self.stats.bbox_breaks += u64::from(ev.bbox_break);
+                    self.local_sizes[ev.assignment as usize] += self.weights[p];
+                }
+                self.evals = evals;
             }
-            self.evals = evals;
+            self.stats.assignment_seconds += assign_t0.elapsed().as_secs_f64();
 
             // The only communication of the balance loop (Alg. 1 line 31).
-            global_sizes.copy_from_slice(&local_sizes);
-            comm.allreduce_sum_f64(&mut global_sizes);
+            self.global_sizes.copy_from_slice(&self.local_sizes);
+            comm.allreduce_sum_f64(&mut self.global_sizes);
 
-            let total: f64 = global_sizes.iter().sum();
+            let total: f64 = self.global_sizes.iter().sum();
             // Per-block targets: uniform total/k, or the configured
             // heterogeneous fractions (paper footnote 1).
             let mut worst_ratio = 0.0f64;
@@ -252,77 +734,84 @@ impl<const D: usize> Solver<'_, D> {
                 if target <= 0.0 {
                     continue;
                 }
-                worst_ratio = worst_ratio.max(global_sizes[c] / target);
+                worst_ratio = worst_ratio.max(self.global_sizes[c] / target);
                 // Weighted form of the paper's Lmax = (1+ε)·⌈w(V)/k⌉: the
                 // `target + w_max` floor is what makes the constraint
                 // feasible when single point weights exceed ε·target.
                 let allowed =
                     ((1.0 + self.cfg.epsilon) * target).max(target + self.w_max);
-                if global_sizes[c] > allowed + 1e-12 {
+                if self.global_sizes[c] > allowed + 1e-12 {
                     all_within = false;
                 }
             }
             self.stats.final_imbalance = (worst_ratio - 1.0).max(0.0);
             self.stats.balance_achieved = all_within;
             if all_within {
-                return global_sizes;
+                return;
             }
             if balance_iter + 1 == self.cfg.max_balance_iterations {
-                return global_sizes;
+                return;
             }
 
-            // Adapt influences (Eq. 1, corrected) and relax bounds.
-            let old_influence = self.influence.clone();
-            for c in 0..k {
-                let target = total * self.fractions[c];
-                let gamma = if global_sizes[c] > 0.0 {
-                    target / global_sizes[c]
-                } else {
-                    f64::INFINITY
-                };
-                self.influence[c] *=
-                    adapt_factor(gamma, D, self.cfg.influence_change_cap);
-            }
+            // Adapt influences (Eq. 1, corrected) and relax bounds — all
+            // through solver-owned scratch.
+            self.old_influence.clear();
+            self.old_influence.extend_from_slice(&self.influence);
+            adapt_influences(
+                &mut self.influence,
+                &self.global_sizes,
+                &self.fractions,
+                total,
+                D,
+                self.cfg.influence_change_cap,
+            );
             if self.cfg.hamerly_bounds {
-                let relax = Relaxation::influence_only(&old_influence, &self.influence);
+                self.relax.set_influence_only(&self.old_influence, &self.influence);
                 let n = self.ub.len();
-                relax.apply(&mut self.ub, &mut self.lb, &self.assignment, n);
+                self.relax.apply(&mut self.ub, &mut self.lb, &self.assignment, n);
             }
         }
-        global_sizes
     }
 
     /// New centers = weighted mean of the active points of each cluster
     /// (Algorithm 2 lines 12–13: local sums + one global vector sum).
-    /// Clusters with zero active weight keep their old center.
-    fn new_centers<C: Comm>(&self, comm: &C, active: &[u32]) -> Vec<Point<D>> {
+    /// Clusters with zero active weight keep their old center. The result
+    /// lands in `self.new_centers_buf` and the per-center movement in
+    /// `self.delta`; returns the maximum movement.
+    fn compute_new_centers<C: Comm>(&mut self, comm: &C, active: &[u32]) -> f64 {
         let k = self.k;
         let stride = D + 1;
-        let mut sums = vec![0.0f64; k * stride];
+        self.center_sums.clear();
+        self.center_sums.resize(k * stride, 0.0);
         for &p in active {
             let p = p as usize;
             let c = self.assignment[p] as usize;
             let w = self.weights[p];
             for d in 0..D {
-                sums[c * stride + d] += w * self.points[p][d];
+                self.center_sums[c * stride + d] += w * self.points[p][d];
             }
-            sums[c * stride + D] += w;
+            self.center_sums[c * stride + D] += w;
         }
-        comm.allreduce_sum_f64(&mut sums);
-        (0..k)
-            .map(|c| {
-                let w = sums[c * stride + D];
-                if w > 0.0 {
-                    let mut coords = [0.0; D];
-                    for d in 0..D {
-                        coords[d] = sums[c * stride + d] / w;
-                    }
-                    Point::new(coords)
-                } else {
-                    self.centers[c]
+        comm.allreduce_sum_f64(&mut self.center_sums);
+        let (sums, centers, buf) =
+            (&self.center_sums, &self.centers, &mut self.new_centers_buf);
+        buf.clear();
+        for c in 0..k {
+            let w = sums[c * stride + D];
+            buf.push(if w > 0.0 {
+                let mut coords = [0.0; D];
+                for d in 0..D {
+                    coords[d] = sums[c * stride + d] / w;
                 }
-            })
-            .collect()
+                Point::new(coords)
+            } else {
+                centers[c]
+            });
+        }
+        self.delta.clear();
+        let (delta, buf) = (&mut self.delta, &self.new_centers_buf);
+        delta.extend(centers.iter().zip(buf).map(|(a, b)| a.dist(b)));
+        delta.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -402,6 +891,32 @@ pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
     let beta = 2.0 * diag / (k as f64).powf(1.0 / D as f64);
     let delta_threshold = cfg.delta_threshold * diag;
 
+    // Structure-of-arrays coordinate lanes for the blocked kernel, built
+    // once per solve (DESIGN.md §9).
+    let soa: Vec<Vec<f64>> = if cfg.soa_kernel {
+        (0..D).map(|d| points.iter().map(|p| p[d]).collect()).collect()
+    } else {
+        Vec::new()
+    };
+    let block_boxes: Vec<([f64; D], [f64; D])> = if cfg.soa_kernel {
+        points
+            .chunks(SOA_BLOCK)
+            .map(|blk| {
+                let mut lo = [f64::INFINITY; D];
+                let mut hi = [f64::NEG_INFINITY; D];
+                for p in blk {
+                    for d in 0..D {
+                        lo[d] = lo[d].min(p[d]);
+                        hi[d] = hi[d].max(p[d]);
+                    }
+                }
+                (lo, hi)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut solver = Solver {
         points,
         weights,
@@ -414,16 +929,36 @@ pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
         lb: vec![0.0; n_local],
         w_max,
         fractions: cfg.fractions(k),
+        // Shuffled sampling rounds go through the AoS path even when the
+        // SoA kernel is on, so the Eval buffer is always pre-sized.
         evals: Vec::with_capacity(n_local),
+        soa,
+        block_boxes,
+        cscratch: CenterScratch::default(),
+        kscratch: Vec::new(),
+        old_influence: Vec::with_capacity(k),
+        delta: Vec::with_capacity(k),
+        center_sums: Vec::with_capacity(k * (D + 1)),
+        new_centers_buf: Vec::with_capacity(k),
+        relax: Relaxation::with_capacity(k),
+        local_sizes: Vec::with_capacity(k),
+        global_sizes: Vec::with_capacity(k),
         stats: KMeansStats::default(),
     };
 
     // Sampling initialization (Sec. 4.5): a random local permutation whose
-    // prefix is the active sample, doubling every movement round.
+    // prefix is the active sample, doubling every movement round. Once the
+    // sample covers every local point the order is restored to the
+    // identity (sorting a permutation yields 0..n): the steady-state
+    // passes then run gather-free over contiguous lanes. Both kernels see
+    // the same active order, so the (order-sensitive) weight and centroid
+    // sums stay bitwise-identical between them.
     let mut perm: Vec<u32> = (0..n_local as u32).collect();
+    let mut shuffled = false;
     let mut sample_len = if cfg.sampling_init {
         let mut rng = SplitMix64::new(cfg.seed ^ (comm.rank() as u64).wrapping_mul(0xA24B_AED4));
         rng.shuffle(&mut perm);
+        shuffled = true;
         cfg.initial_sample.min(n_local)
     } else {
         n_local
@@ -433,18 +968,19 @@ pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
     while iterations_left > 0 {
         iterations_left -= 1;
         solver.stats.movement_iterations += 1;
+        if shuffled && sample_len >= n_local {
+            perm.sort_unstable();
+            shuffled = false;
+        }
         let active = &perm[..sample_len];
 
         // Everyone must agree whether this is still a sampling round.
         let local_full = u64::from(sample_len >= n_local);
         let all_full = comm.allreduce(local_full, u64::min) == 1;
 
-        solver.assign_and_balance(comm, active);
+        solver.assign_and_balance(comm, active, !shuffled);
 
-        let new_centers = solver.new_centers(comm, active);
-        let delta: Vec<f64> =
-            solver.centers.iter().zip(&new_centers).map(|(a, b)| a.dist(b)).collect();
-        let max_delta = delta.iter().copied().fold(0.0, f64::max);
+        let max_delta = solver.compute_new_centers(comm, active);
 
         // Converged = centers stationary AND the balance constraint met.
         // (A stationary-but-imbalanced state keeps iterating: the influence
@@ -458,18 +994,23 @@ pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
         }
 
         // Move centers; erode influences (Eqs. 2–3); relax bounds (Eqs.
-        // 4–5, corrected).
-        let old_influence = solver.influence.clone();
-        solver.centers = new_centers;
+        // 4–5, corrected) — all through solver-owned scratch.
+        solver.old_influence.clear();
+        solver.old_influence.extend_from_slice(&solver.influence);
+        std::mem::swap(&mut solver.centers, &mut solver.new_centers_buf);
         if cfg.influence_erosion {
-            for (inf, &d) in solver.influence.iter_mut().zip(&delta) {
+            for (inf, &d) in solver.influence.iter_mut().zip(&solver.delta) {
                 *inf = erode(*inf, erosion_alpha(d, beta));
             }
         }
         if cfg.hamerly_bounds {
-            let relax = Relaxation::movement(&delta, &old_influence, &solver.influence);
+            solver.relax.set_movement(
+                &solver.delta,
+                &solver.old_influence,
+                &solver.influence,
+            );
             let n = solver.ub.len();
-            relax.apply(&mut solver.ub, &mut solver.lb, &solver.assignment, n);
+            solver.relax.apply(&mut solver.ub, &mut solver.lb, &solver.assignment, n);
         }
 
         if !all_full {
@@ -478,12 +1019,15 @@ pub fn balanced_kmeans_warm<const D: usize, C: Comm>(
     }
 
     // If the iteration budget ran out mid-sampling, points outside the
-    // sample have never been assigned: finish with one full pass. The
-    // decision must be global so the collectives stay matched.
+    // sample have never been assigned: finish with one full pass (in
+    // identity order — the pass covers everything, so the sample
+    // permutation no longer matters). The decision must be global so the
+    // collectives stay matched.
     let local_full = u64::from(sample_len >= n_local);
     let all_full = comm.allreduce(local_full, u64::min) == 1;
     if !all_full {
-        solver.assign_and_balance(comm, &perm);
+        perm.sort_unstable();
+        solver.assign_and_balance(comm, &perm, true);
     }
 
     KMeansOutput {
@@ -665,6 +1209,49 @@ mod tests {
     }
 
     #[test]
+    fn soa_kernel_matches_aos_bitwise() {
+        // The blocked SoA kernel is an exact restructuring of the AoS
+        // reference scan: assignments, centers, and influences must agree
+        // bitwise across sampling and local-parallel modes, while the
+        // per-block pruning bound must never *increase* the eval count.
+        let n = 5000;
+        let pts = uniform_points(n, 12);
+        let mut rng = SplitMix64::new(13);
+        let w: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64()).collect();
+        let k = 7;
+        let centers = sfc_like_centers(&pts, k);
+        for sampling in [true, false] {
+            for par in [false, true] {
+                let cfg = Config {
+                    sampling_init: sampling,
+                    parallel_local: par,
+                    max_iterations: 40,
+                    ..Config::default()
+                };
+                let soa = balanced_kmeans(&SelfComm, &pts, &w, k, centers.clone(), &cfg);
+                let aos = balanced_kmeans(
+                    &SelfComm,
+                    &pts,
+                    &w,
+                    k,
+                    centers.clone(),
+                    &Config { soa_kernel: false, ..cfg },
+                );
+                assert_eq!(soa.assignment, aos.assignment, "sampling={sampling} par={par}");
+                assert_eq!(soa.centers, aos.centers);
+                assert_eq!(soa.influence, aos.influence);
+                assert_eq!(soa.stats.movement_iterations, aos.stats.movement_iterations);
+                assert!(
+                    soa.stats.distance_evals <= aos.stats.distance_evals,
+                    "block pruning must not evaluate more: {} vs {}",
+                    soa.stats.distance_evals,
+                    aos.stats.distance_evals
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sampling_init_assigns_every_point() {
         let pts = uniform_points(3000, 10);
         let w = vec![1.0; 3000];
@@ -759,6 +1346,120 @@ mod tests {
             vec![1.0, 0.0],
             &Config::default(),
         );
+    }
+
+    /// Seeded instance from one of the two test mesh families: `uniform`
+    /// fills the unit cube, `clustered` packs two thirds of the points
+    /// into a dense corner blob (the skewed-density regime that drives
+    /// influence balancing hardest).
+    fn family_points<const D: usize>(n: usize, seed: u64, clustered: bool) -> Vec<Point<D>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                let scale = if clustered && i % 3 != 0 { 0.12 } else { 1.0 };
+                Point::new(std::array::from_fn(|_| rng.next_f64() * scale))
+            })
+            .collect()
+    }
+
+    fn spread_centers<const D: usize>(points: &[Point<D>], k: usize) -> Vec<Point<D>> {
+        let n = points.len();
+        (0..k).map(|i| points[(i * n / k + n / (2 * k)).min(n - 1)]).collect()
+    }
+
+    /// One property-sweep case: solve the same distributed instance with
+    /// the SoA kernel on and off; every rank must agree bitwise.
+    fn assert_soa_matches_aos<const D: usize>(p: usize, seed: u64, clustered: bool) {
+        let n = 1200;
+        let pts = family_points::<D>(n, seed, clustered);
+        let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9);
+        let w: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64()).collect();
+        let k = 5;
+        let centers = spread_centers(&pts, k);
+        let cfg = Config { max_iterations: 15, ..Config::default() };
+        let aos_cfg = Config { soa_kernel: false, ..cfg.clone() };
+        let chunk = n.div_ceil(p);
+        let results = geographer_parcomm::run_spmd(p, |c| {
+            let lo = (c.rank() * chunk).min(n);
+            let hi = ((c.rank() + 1) * chunk).min(n);
+            let soa = balanced_kmeans(&c, &pts[lo..hi], &w[lo..hi], k, centers.clone(), &cfg);
+            let aos =
+                balanced_kmeans(&c, &pts[lo..hi], &w[lo..hi], k, centers.clone(), &aos_cfg);
+            (soa, aos)
+        });
+        for (r, (soa, aos)) in results.iter().enumerate() {
+            let tag = format!("D={D} p={p} rank={r} seed={seed} clustered={clustered}");
+            assert_eq!(soa.assignment, aos.assignment, "{tag}");
+            assert_eq!(soa.centers, aos.centers, "{tag}");
+            assert_eq!(soa.influence, aos.influence, "{tag}");
+            assert!(
+                soa.stats.distance_evals <= aos.stats.distance_evals,
+                "{tag}: block pruning must not evaluate more"
+            );
+        }
+    }
+
+    #[test]
+    fn soa_matches_aos_across_dims_ranks_and_families() {
+        // Hand-rolled property sweep (the workspace carries no proptest
+        // dependency): seeded random instances across D ∈ {2, 3},
+        // p ∈ {1, 4}, and both mesh families. The SoA kernel claims to be
+        // an exact restructuring of the AoS scan, so every combination
+        // must agree bitwise on every rank.
+        for seed in [41, 42, 43] {
+            for p in [1usize, 4] {
+                for clustered in [false, true] {
+                    assert_soa_matches_aos::<2>(p, seed, clustered);
+                    assert_soa_matches_aos::<3>(p, seed, clustered);
+                }
+            }
+        }
+    }
+
+    /// Warm fixed-point property: converge cold, restart warm from the
+    /// converged (centers, influence) pair — the assignment must
+    /// reproduce exactly in one movement iteration.
+    fn assert_warm_fixed_point<const D: usize>(soa: bool, seed: u64, clustered: bool) {
+        let n = 1000;
+        let pts = family_points::<D>(n, seed, clustered);
+        let w = vec![1.0; n];
+        let k = 5;
+        let cfg = Config {
+            soa_kernel: soa,
+            sampling_init: false,
+            max_iterations: 200,
+            ..Config::default()
+        };
+        let cold = balanced_kmeans(&SelfComm, &pts, &w, k, spread_centers(&pts, k), &cfg);
+        assert!(cold.stats.converged, "D={D} soa={soa} seed={seed}");
+        let warm = balanced_kmeans_warm(
+            &SelfComm,
+            &pts,
+            &w,
+            k,
+            cold.centers.clone(),
+            cold.influence.clone(),
+            &cfg,
+        );
+        let tag = format!("D={D} soa={soa} seed={seed} clustered={clustered}");
+        assert_eq!(warm.assignment, cold.assignment, "{tag}");
+        assert_eq!(warm.stats.movement_iterations, 1, "{tag}");
+        assert!(warm.stats.converged, "{tag}");
+    }
+
+    #[test]
+    fn warm_fixed_point_holds_across_kernels_and_dims() {
+        // The SoA restructuring must not disturb the warm-start contract
+        // (DESIGN.md §5): sweep it across kernels, dimensions, and both
+        // mesh families.
+        for seed in [51, 52] {
+            for soa in [true, false] {
+                for clustered in [false, true] {
+                    assert_warm_fixed_point::<2>(soa, seed, clustered);
+                    assert_warm_fixed_point::<3>(soa, seed, clustered);
+                }
+            }
+        }
     }
 
     #[test]

@@ -197,8 +197,13 @@ pub fn partition_spmd<const D: usize, C: Comm>(
 
     // Phase 3: initial centers along the curve, then balanced k-means.
     let t2 = Instant::now();
-    let sorted_points: Vec<Point<D>> = sorted.iter().map(|t| Point::new(t.coords)).collect();
-    let sorted_weights: Vec<f64> = sorted.iter().map(|t| t.weight).collect();
+    // One pass over the sorted run fills both exact-size arrays.
+    let mut sorted_points: Vec<Point<D>> = Vec::with_capacity(sorted.len());
+    let mut sorted_weights: Vec<f64> = Vec::with_capacity(sorted.len());
+    for t in &sorted {
+        sorted_points.push(Point::new(t.coords));
+        sorted_weights.push(t.weight);
+    }
     let centers = initial_centers_from_sorted(comm, &sorted_points, k, global_n);
     let out = balanced_kmeans(comm, &sorted_points, &sorted_weights, k, centers, cfg);
     let kmeans = t2.elapsed().as_secs_f64();

@@ -70,14 +70,24 @@ where
             .collect()
     };
 
-    // Partition the local run by splitter and exchange.
-    let mut sends: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-    for item in items {
-        let k = key(&item);
-        // First splitter greater than k determines the destination.
-        let dest = splitters.partition_point(|&sp| sp <= k);
-        sends[dest].push(item);
+    // Partition the local run by splitter and exchange. The run is
+    // sorted, so destinations are monotone: an item with key `k` goes to
+    // rank `#{sp ≤ k}`, and the p−1 run boundaries fall out of binary
+    // searches. Each run is then moved out wholesale (`split_off`) —
+    // exact-size send vectors, no per-item destination search or
+    // p-growing-vector churn.
+    let mut bounds = Vec::with_capacity(p + 1);
+    bounds.push(0);
+    for &sp in &splitters {
+        bounds.push(items.partition_point(|t| key(t) < sp));
     }
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p);
+    for r in (1..p).rev() {
+        sends.push(items.split_off(bounds[r]));
+    }
+    sends.push(items);
+    sends.reverse();
     let mut received: Vec<T> = comm.alltoallv(sends).into_iter().flatten().collect();
     received.sort_by_key(|t| key(t));
     received
@@ -102,17 +112,22 @@ where
         return items;
     }
 
-    // Global element g belongs to the rank r with boundaries
-    // [r*total/p, (r+1)*total/p).
-    let owner = |g: u64| -> usize {
-        let r = ((g as u128 * p as u128) / total as u128) as usize;
-        r.min(p - 1)
-    };
-
-    let mut sends: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        sends[owner(offset + i as u64)].push(item);
+    // Global element g belongs to rank r = ⌊g·p/total⌋, i.e. rank r owns
+    // the contiguous global range [⌈r·total/p⌉, ⌈(r+1)·total/p⌉). The
+    // local run covers [offset, offset + n): slice it at the arithmetic
+    // boundaries directly — no per-element owner computation, no growing
+    // send vectors.
+    let start =
+        |r: usize| -> u64 { (r as u128 * total as u128).div_ceil(p as u128) as u64 };
+    let end_g = offset + local_n;
+    let mut items = items;
+    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p);
+    for r in (1..p).rev() {
+        let lo = start(r).clamp(offset, end_g) - offset;
+        sends.push(items.split_off(lo as usize));
     }
+    sends.push(items);
+    sends.reverse();
     // Concatenating by source rank preserves global order: sources hold
     // ascending disjoint runs.
     comm.alltoallv(sends).into_iter().flatten().collect()

@@ -207,7 +207,7 @@ pub fn contract(g: &WeightedCsrGraph, mate: &[u32]) -> Contraction {
     // Per-coarse-vertex adjacency: gather both constituents' neighbours,
     // map them to coarse ids, drop self-loops, merge duplicates.
     let cof = &coarse_of_fine;
-    let built: Vec<(Vec<u32>, Vec<u64>, f64)> = pairs
+    let built: Vec<(Vec<(u32, u64)>, f64)> = pairs
         .par_iter()
         .map(|&(a, b)| {
             let c = cof[a as usize];
@@ -227,34 +227,35 @@ pub fn contract(g: &WeightedCsrGraph, mate: &[u32]) -> Contraction {
                 push_all(b);
             }
             nbrs.sort_unstable_by_key(|&(u, _)| u);
-            let mut adj = Vec::with_capacity(nbrs.len());
-            let mut wgt: Vec<u64> = Vec::with_capacity(nbrs.len());
-            for (u, w) in nbrs {
-                if adj.last() == Some(&u) {
-                    *wgt.last_mut().unwrap() += w;
-                } else {
-                    adj.push(u);
-                    wgt.push(w);
-                }
-            }
             let vw = if b != a {
                 g.vwgt[a as usize] + g.vwgt[b as usize]
             } else {
                 g.vwgt[a as usize]
             };
-            (adj, wgt, vw)
+            (nbrs, vw)
         })
         .collect();
 
+    // Duplicate neighbours are merged here, during the serial
+    // concatenation, writing straight into pre-reserved output arrays —
+    // one gather buffer per pair above, no per-pair adj/wgt temporaries.
     let nc = pairs.len();
+    let upper: usize = built.iter().map(|(nbrs, _)| nbrs.len()).sum();
     let mut xadj = Vec::with_capacity(nc + 1);
     xadj.push(0usize);
-    let mut adj = Vec::new();
-    let mut ewgt = Vec::new();
+    let mut adj: Vec<u32> = Vec::with_capacity(upper);
+    let mut ewgt: Vec<u64> = Vec::with_capacity(upper);
     let mut vwgt = Vec::with_capacity(nc);
-    for (a, w, vw) in built {
-        adj.extend_from_slice(&a);
-        ewgt.extend_from_slice(&w);
+    for (nbrs, vw) in built {
+        let row_start = adj.len();
+        for (u, w) in nbrs {
+            if adj.len() > row_start && *adj.last().unwrap() == u {
+                *ewgt.last_mut().unwrap() += w;
+            } else {
+                adj.push(u);
+                ewgt.push(w);
+            }
+        }
         xadj.push(adj.len());
         vwgt.push(vw);
     }

@@ -40,17 +40,27 @@ impl CsrGraph {
                 cursor[v as usize] += 1;
             }
         }
-        // Sort + dedup each adjacency list.
-        let mut clean_adj = Vec::with_capacity(adj.len());
+        // Sort each adjacency range in place, then dedup-compact the whole
+        // array with a single write cursor — no per-vertex temporary and no
+        // second full-size allocation.
+        let mut write = 0usize;
         let mut clean_xadj = vec![0usize; n + 1];
         for v in 0..n {
-            let mut list: Vec<u32> = adj[xadj[v]..xadj[v + 1]].to_vec();
-            list.sort_unstable();
-            list.dedup();
-            clean_adj.extend_from_slice(&list);
-            clean_xadj[v + 1] = clean_adj.len();
+            let (lo, hi) = (xadj[v], xadj[v + 1]);
+            adj[lo..hi].sort_unstable();
+            let mut prev = None;
+            for r in lo..hi {
+                let u = adj[r];
+                if prev != Some(u) {
+                    adj[write] = u;
+                    write += 1;
+                    prev = Some(u);
+                }
+            }
+            clean_xadj[v + 1] = write;
         }
-        CsrGraph { xadj: clean_xadj, adj: clean_adj }
+        adj.truncate(write);
+        CsrGraph { xadj: clean_xadj, adj }
     }
 
     /// Number of vertices.

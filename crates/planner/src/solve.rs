@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use geographer::KMeansStats;
+use geographer::{KMeansStats, PipelineTimings};
 use geographer_graph::{imbalance_with_targets, LevelMetrics};
 use geographer_parcomm::{Comm, CommStats};
 use geographer_refine::{
@@ -53,6 +53,12 @@ pub struct Plan<const D: usize> {
     /// Paper-comparable pipeline seconds of the solve (per-node sum for
     /// hierarchical specs; wall time for the baselines).
     pub solve_seconds: f64,
+    /// Per-phase pipeline timings (Hilbert index, redistribution, k-means,
+    /// write-back) of the solve. `Some` for flat stateful plans — the
+    /// scaling benchmark reads its per-phase ns/point from here — `None`
+    /// for hierarchical and baseline plans, whose phases are not
+    /// individually metered.
+    pub phase_timings: Option<PipelineTimings>,
     /// Wall seconds of the refinement post-pass (0 when none ran).
     pub refine_seconds: f64,
     /// Flat refinement summary, when refinement ran (the per-level sum for
@@ -100,6 +106,7 @@ impl Planner {
         let before = comm.stats();
         let t = Instant::now();
         let mut solve_seconds;
+        let mut phase_timings = None;
         let (local, state_out, stats, level_imbalance) = match &spec.hierarchy {
             Some(h) => {
                 let res = match state {
@@ -126,6 +133,7 @@ impl Planner {
                     _ => geographer::partition_spmd(comm, points, weights, spec.k, cfg),
                 };
                 solve_seconds = res.timings.total();
+                phase_timings = Some(res.timings);
                 (
                     res.assignment.clone(),
                     Some(PlanState::Flat(res.previous())),
@@ -237,6 +245,7 @@ impl Planner {
             comm: comm_used,
             ranks: p,
             solve_seconds,
+            phase_timings,
             refine_seconds,
             refine,
             multilevel,
@@ -343,6 +352,34 @@ mod tests {
         assert!(stacked.level_refine.unwrap().len() == 2);
         assert!(stacked.refine.unwrap().moves > 0);
         assert!(stacked.refine_seconds >= 0.0);
+    }
+
+    #[test]
+    fn warm_fixed_point_holds_with_either_assignment_kernel() {
+        // The warm-restart bitwise fixed point (DESIGN.md §8) must be
+        // indifferent to the assignment kernel choice: re-solving an
+        // unchanged mesh from a plan's refreshed state reproduces the
+        // assignment exactly with the SoA kernel on and off, on both
+        // test mesh families.
+        for soa in [true, false] {
+            for family in [0, 1] {
+                let mesh = if family == 0 {
+                    delaunay_unit_square(1_100, 66)
+                } else {
+                    bubbles_like(1_100, 66)
+                };
+                let cfg = Config { soa_kernel: soa, ..Config::default() };
+                let spec =
+                    PlanSpec::flat(MeshView::from(&mesh), Tool::Geographer, 5, cfg);
+                let cold = Planner::solve(&spec, None, &SelfComm);
+                let warm = Planner::solve(&spec, cold.state.as_ref(), &SelfComm);
+                assert_eq!(
+                    warm.assignment, cold.assignment,
+                    "soa={soa} family={family}"
+                );
+                assert!(matches!(warm.state, Some(PlanState::Flat(_))));
+            }
+        }
     }
 
     #[test]

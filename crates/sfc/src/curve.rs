@@ -108,6 +108,21 @@ pub fn hilbert_index<const D: usize>(coords: [u32; D], bits: u32) -> u64 {
             assert!(c < (1 << bits), "coordinate {c} out of range for {bits} bits");
         }
     }
+    hilbert_index_unchecked(coords, bits)
+}
+
+/// [`hilbert_index`] without the per-call range asserts, for callers that
+/// already guarantee them — [`HilbertMapper::key_of`] validates `bits`
+/// once at construction and clamps every coordinate in `cell_of`, so the
+/// per-point checks would only re-prove invariants in the key-derivation
+/// hot loop. Debug builds still verify.
+#[inline]
+fn hilbert_index_unchecked<const D: usize>(coords: [u32; D], bits: u32) -> u64 {
+    debug_assert!(bits >= 1 && bits <= max_bits(D).min(31), "bits out of range");
+    debug_assert!(
+        bits >= 32 || coords.iter().all(|&c| c < (1 << bits)),
+        "coordinate out of range for {bits} bits"
+    );
     let mut x = coords;
     axes_to_transpose(&mut x, bits);
     interleave(&x, bits)
@@ -178,9 +193,10 @@ impl<const D: usize> HilbertMapper<D> {
         c
     }
 
-    /// Hilbert key of `p`.
+    /// Hilbert key of `p`. One pass: quantize (clamped) and index without
+    /// re-checking ranges the mapper already guarantees.
     pub fn key_of(&self, p: &Point<D>) -> u64 {
-        hilbert_index(self.cell_of(p), self.bits)
+        hilbert_index_unchecked(self.cell_of(p), self.bits)
     }
 
     /// Center of the lattice cell with Hilbert key `key` (inverse of
