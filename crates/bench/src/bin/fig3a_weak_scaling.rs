@@ -5,19 +5,37 @@
 //!
 //! Expected shape (paper): Geographer, MultiJagged and HSFC scale almost
 //! flat; the recursive methods (RCB, RIB) grow with every doubling.
+//!
+//! `--proc` runs every solve on the multi-process backend (forked workers
+//! over Unix-domain sockets) and replaces the default α–β constants with
+//! values *measured* on that substrate by the calibration probe.
 
 use geographer::Config;
-use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
+use geographer_bench::{run_tool_backend, scaled, CostModel, SpmdBackend, TextTable, Tool};
 use geographer_mesh::delaunay_unit_square;
-use geographer_parcomm::Collective;
+use geographer_parcomm::{measure_alpha_beta, Collective};
 
 fn main() {
     let per_rank = scaled(4000);
     let ps = [1usize, 2, 4, 8, 16, 32];
-    let model = CostModel::default();
+    let backend = SpmdBackend::from_cli_args();
+    let model = match backend {
+        SpmdBackend::Thread => CostModel::default(),
+        SpmdBackend::Proc => {
+            let m = measure_alpha_beta(50).expect("calibration probe");
+            eprintln!(
+                "# measured socket substrate: alpha={:.2}us/round beta={:.3}ns/B",
+                m.alpha * 1e6,
+                m.beta * 1e9
+            );
+            CostModel { alpha: m.alpha, beta: m.beta }
+        }
+    };
     let cfg = Config::default();
     println!(
-        "# Fig. 3a weak scaling: Delaunay series, {per_rank} points/rank, k = p"
+        "# Fig. 3a weak scaling: Delaunay series, {per_rank} points/rank, k = p \
+         [{} backend]",
+        backend.name()
     );
     let mut table = TextTable::new(
         std::iter::once("p=k".to_string())
@@ -29,7 +47,7 @@ fn main() {
         let mesh = delaunay_unit_square(n, 7 + p as u64);
         let mut cells = vec![p.to_string()];
         for tool in Tool::ALL {
-            let out = run_tool(tool, &mesh, p.max(2), p, &cfg);
+            let out = run_tool_backend(tool, &mesh, p.max(2), p, &cfg, backend);
             let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
             cells.push(format!("{:.2}", modeled * 1e3));
             let red = out.comm.op(Collective::Allreduce);

@@ -5,18 +5,34 @@
 //! Expected shape: near-perfect scaling for Geographer/MJ/HSFC up to the
 //! point where collective latency dominates; RCB and RIB flatten out much
 //! earlier and end up slowest.
+//!
+//! `--proc` runs every solve on the multi-process backend (forked workers
+//! over Unix-domain sockets) and replaces the default α–β constants with
+//! values *measured* on that substrate by the calibration probe.
 
 use geographer::Config;
-use geographer_bench::{run_tool, scaled, CostModel, TextTable, Tool};
+use geographer_bench::{run_tool_backend, scaled, CostModel, SpmdBackend, TextTable, Tool};
 use geographer_mesh::delaunay_unit_square;
-use geographer_parcomm::Collective;
+use geographer_parcomm::{measure_alpha_beta, Collective};
 
 fn main() {
     let n = scaled(120_000);
     let ps = [4usize, 8, 16, 32, 64];
-    let model = CostModel::default();
+    let backend = SpmdBackend::from_cli_args();
+    let model = match backend {
+        SpmdBackend::Thread => CostModel::default(),
+        SpmdBackend::Proc => {
+            let m = measure_alpha_beta(50).expect("calibration probe");
+            eprintln!(
+                "# measured socket substrate: alpha={:.2}us/round beta={:.3}ns/B",
+                m.alpha * 1e6,
+                m.beta * 1e9
+            );
+            CostModel { alpha: m.alpha, beta: m.beta }
+        }
+    };
     let cfg = Config::default();
-    println!("# Fig. 3b strong scaling: Delaunay n = {n}, k = p");
+    println!("# Fig. 3b strong scaling: Delaunay n = {n}, k = p [{} backend]", backend.name());
     let mesh = delaunay_unit_square(n, 99);
     let mut table = TextTable::new(
         std::iter::once("p=k".to_string())
@@ -26,7 +42,7 @@ fn main() {
     for &p in &ps {
         let mut cells = vec![p.to_string()];
         for tool in Tool::ALL {
-            let out = run_tool(tool, &mesh, p, p, &cfg);
+            let out = run_tool_backend(tool, &mesh, p, p, &cfg, backend);
             let modeled = model.modeled_seconds(out.wall_seconds, p, &out.comm);
             cells.push(format!("{:.2}", modeled * 1e3));
             let red = out.comm.op(Collective::Allreduce);

@@ -14,7 +14,7 @@ use geographer_parcomm::{run_spmd, CommStats};
 use geographer_refine::{MultilevelConfig, MultilevelReport, RefineConfig, RefineReport};
 use geographer_spmv::{spmv_comm_time, SpmvReport};
 
-use crate::harness::{run_plan_chain, solve_plan, PlanRecipe};
+use crate::harness::{run_plan_chain, solve_plan, solve_plan_proc, PlanRecipe, SpmdBackend};
 
 pub use geographer_planner::Tool;
 
@@ -112,6 +112,41 @@ fn planner_refine(rc: &RunConfig) -> geographer_planner::RefineMode {
         (Some(rcfg), RefineMode::Multilevel) => geographer_planner::RefineMode::Multilevel(
             MultilevelConfig { refine: rcfg.clone(), ..MultilevelConfig::default() },
         ),
+    }
+}
+
+/// [`run_tool`] on a selectable SPMD substrate: threads (the default) or
+/// forked worker processes. Both backends run the identical planner code
+/// over the identical collective algorithms, so the assignment is the
+/// same; the process backend's wall time includes real fork/rendezvous/
+/// socket costs and its counters come from the per-rank views. The
+/// process path is cold and plain (no refinement post-pass state crosses
+/// back) — exactly what the scaling figures need.
+pub fn run_tool_backend<const D: usize>(
+    tool: Tool,
+    mesh: &Mesh<D>,
+    k: usize,
+    p: usize,
+    cfg: &Config,
+    backend: SpmdBackend,
+) -> RunOutcome {
+    match backend {
+        SpmdBackend::Thread => run_tool(tool, mesh, k, p, cfg),
+        SpmdBackend::Proc => {
+            assert!(p >= 1 && k >= 1);
+            let recipe = PlanRecipe::flat("run", tool, k, cfg.clone());
+            let run = solve_plan_proc(mesh, &recipe, p)
+                .unwrap_or_else(|e| panic!("process-backend solve failed: {e}"));
+            RunOutcome {
+                assignment: run.assignment,
+                wall_seconds: run.wall_seconds,
+                comm: run.comm,
+                ranks: p,
+                refine: None,
+                refine_mode: RefineMode::Single,
+                multilevel: None,
+            }
+        }
     }
 }
 

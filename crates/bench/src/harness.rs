@@ -25,8 +25,44 @@ use std::time::Instant;
 use geographer::{Config, HierarchySpec};
 use geographer_graph::{edge_cut, imbalance, relabel_free_migration, LevelMetrics};
 use geographer_mesh::{DynamicWorkload, Mesh};
-use geographer_parcomm::run_spmd;
+use geographer_parcomm::{run_spmd, run_spmd_proc, CommStats, ProcError};
 use geographer_planner::{MeshView, Plan, PlanSpec, PlanState, Planner, RefineMode, Tool};
+
+/// Which SPMD substrate a benchmark launches its ranks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpmdBackend {
+    /// Ranks are threads of this process sharing an address space
+    /// ([`geographer_parcomm::ThreadComm`]) — fast to launch, payloads
+    /// move as pointers, communication costs are *modeled* from counters.
+    #[default]
+    Thread,
+    /// Ranks are forked worker processes talking over Unix-domain sockets
+    /// ([`geographer_parcomm::ProcComm`]) — every payload is serialized
+    /// through the kernel, so per-round latency and per-byte cost are
+    /// *measurable* ([`geographer_parcomm::measure_alpha_beta`]).
+    Proc,
+}
+
+impl SpmdBackend {
+    /// Display name for benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpmdBackend::Thread => "thread",
+            SpmdBackend::Proc => "proc",
+        }
+    }
+
+    /// Backend selected by the process's CLI arguments: `--proc` picks the
+    /// multi-process substrate, default is threads. The figure binaries
+    /// all share this switch.
+    pub fn from_cli_args() -> SpmdBackend {
+        if std::env::args().any(|a| a == "--proc") {
+            SpmdBackend::Proc
+        } else {
+            SpmdBackend::Thread
+        }
+    }
+}
 
 /// A named, owned plan shape: everything a [`PlanSpec`] carries except the
 /// mesh borrow, plus the warm flag chains use. One benchmark configuration
@@ -179,6 +215,60 @@ pub fn solve_plan_view<const D: usize>(
             writeback: a.writeback.max(b.writeback),
         });
     PlanRun { plan: plans.remove(0).0, wall_seconds, wall_max_rank_s, phase_max }
+}
+
+/// One finished [`solve_plan_proc`] run: what a cold solve can report when
+/// every rank is a separate OS process. The rich [`Plan`] extras (warm
+/// state, refinement reports, per-phase timings) stay in the workers; the
+/// assignment, the communication counters, and the wall clocks cross the
+/// process boundary.
+#[derive(Debug, Clone)]
+pub struct ProcRun {
+    /// Rank 0's global assignment (identical on all ranks, pinned by the
+    /// cross-backend conformance suite).
+    pub assignment: Vec<u32>,
+    /// Job-wide communication counters, combined from the per-rank views
+    /// with the same convention as the thread backend (ops/rounds from
+    /// rank 0, received bytes summed over ranks).
+    pub comm: CommStats,
+    /// Parent's wall clock around the whole job, fork and rendezvous
+    /// included.
+    pub wall_seconds: f64,
+    /// Maximum over ranks of each worker's own solve wall clock.
+    pub wall_max_rank_s: f64,
+}
+
+/// Run one **cold** recipe on `mesh` with `p` worker *processes* — the
+/// multi-process counterpart of [`solve_plan`]. The mesh is inherited by
+/// the forked workers (no input serialization); results come back over
+/// the control sockets. A worker that panics, dies, or hangs surfaces as
+/// `Err`, never as a hang.
+pub fn solve_plan_proc<const D: usize>(
+    mesh: &Mesh<D>,
+    recipe: &PlanRecipe,
+    p: usize,
+) -> Result<ProcRun, ProcError> {
+    solve_plan_proc_view(MeshView::from(mesh), recipe, p)
+}
+
+/// [`solve_plan_proc`] over a bare [`MeshView`] (graph optional).
+pub fn solve_plan_proc_view<const D: usize>(
+    view: MeshView<'_, D>,
+    recipe: &PlanRecipe,
+    p: usize,
+) -> Result<ProcRun, ProcError> {
+    let t = Instant::now();
+    let per_rank = run_spmd_proc(p, |comm| {
+        let rt = Instant::now();
+        let plan = Planner::solve(&recipe.spec_view(view), None, &comm);
+        (plan.assignment, plan.comm, rt.elapsed().as_secs_f64())
+    })?;
+    let wall_seconds = t.elapsed().as_secs_f64();
+    let wall_max_rank_s = per_rank.iter().map(|(_, _, s)| *s).fold(0.0, f64::max);
+    let views: Vec<CommStats> = per_rank.iter().map(|(_, c, _)| *c).collect();
+    let comm = CommStats::from_rank_views(&views);
+    let mut per_rank = per_rank;
+    Ok(ProcRun { assignment: per_rank.remove(0).0, comm, wall_seconds, wall_max_rank_s })
 }
 
 /// Per-step outcome of [`run_plan_chain`].

@@ -13,13 +13,13 @@ pub mod table;
 
 pub use cost::{CostModel, TieredCostModel};
 pub use driver::{
-    aggregate_spmv, evaluate_run, evaluate_run_with_targets, run_tool, run_tool_configured,
-    run_tool_repartition, RefineMode, RepartitionMode, RepartitionStep, RunConfig,
-    RunOutcome, Tool, ToolRow,
+    aggregate_spmv, evaluate_run, evaluate_run_with_targets, run_tool, run_tool_backend,
+    run_tool_configured, run_tool_repartition, RefineMode, RepartitionMode, RepartitionStep,
+    RunConfig, RunOutcome, Tool, ToolRow,
 };
 pub use harness::{
-    level_metrics_json, run_plan_chain, solve_plan, solve_plan_view, write_bench_json,
-    ChainStep, PlanRecipe, PlanRun,
+    level_metrics_json, run_plan_chain, solve_plan, solve_plan_proc, solve_plan_proc_view,
+    solve_plan_view, write_bench_json, ChainStep, PlanRecipe, PlanRun, ProcRun, SpmdBackend,
 };
 pub use table::TextTable;
 

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use geographer_dsort::{rebalance, sample_sort_by_key};
 use geographer_geometry::{Aabb, Point, WeightedPoints};
-use geographer_parcomm::{Comm, CommStats, SelfComm};
+use geographer_parcomm::{Comm, CommStats, SelfComm, Wire, WireCursor};
 use geographer_sfc::HilbertMapper;
 
 use crate::config::Config;
@@ -133,6 +133,25 @@ struct Tagged<const D: usize> {
     id: u64,
     coords: [f64; D],
     weight: f64,
+}
+
+// Tagged points cross rank boundaries in the sort/exchange, so they need a
+// byte encoding for the process backend (field order, little-endian).
+impl<const D: usize> Wire for Tagged<D> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.key.wire_write(out);
+        self.id.wire_write(out);
+        self.coords.wire_write(out);
+        self.weight.wire_write(out);
+    }
+    fn wire_read(r: &mut WireCursor<'_>) -> Self {
+        Tagged {
+            key: u64::wire_read(r),
+            id: u64::wire_read(r),
+            coords: <[f64; D]>::wire_read(r),
+            weight: f64::wire_read(r),
+        }
+    }
 }
 
 /// Phase-boundary counter snapshot. Collectives record their counters at

@@ -25,7 +25,7 @@
 // iterator-zip rewrites of those loops are less readable, not more.
 #![allow(clippy::needless_range_loop)]
 
-use geographer_parcomm::Comm;
+use geographer_parcomm::{Comm, Wire};
 
 /// Oversampling factor for splitter selection. Higher values buy better
 /// balance for one slightly larger allgather.
@@ -39,7 +39,7 @@ const OVERSAMPLE: usize = 16;
 /// ordered arbitrarily between ranks.
 pub fn sample_sort_by_key<T, C, K>(comm: &C, mut items: Vec<T>, key: K) -> Vec<T>
 where
-    T: Clone + Send + 'static,
+    T: Wire,
     C: Comm,
     K: Fn(&T) -> u64,
 {
@@ -98,7 +98,7 @@ where
 /// globally ordered by rank (e.g. the output of [`sample_sort_by_key`]).
 pub fn rebalance<T, C>(comm: &C, items: Vec<T>) -> Vec<T>
 where
-    T: Clone + Send + 'static,
+    T: Wire,
     C: Comm,
 {
     let p = comm.size();

@@ -27,11 +27,15 @@
 //! figures report modeled time from measured communication volume and
 //! per-rank work).
 
+pub mod proc;
 pub mod stats;
 pub mod thread;
+pub mod wire;
 
+pub use proc::{measure_alpha_beta, run_spmd_proc, MeasuredAlphaBeta, ProcComm, ProcError};
 pub use stats::{Collective, CommStats, OpStats};
 pub use thread::{run_spmd, ThreadComm};
+pub use wire::{from_wire, to_wire, Wire, WireCursor};
 
 /// An MPI-like communicator. All collectives must be called by every rank
 /// of the communicator, in the same order (the usual MPI contract).
@@ -57,11 +61,11 @@ pub trait Comm {
 
     /// Gather every rank's `local` vector on every rank
     /// (`result[r]` = rank `r`'s contribution).
-    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
+    fn allgather<T: Wire>(&self, local: Vec<T>) -> Vec<Vec<T>>;
 
     /// Personalized all-to-all: `sends[r]` goes to rank `r`; the result's
     /// entry `s` is what rank `s` sent to this rank.
-    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>>;
+    fn alltoallv<T: Wire>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>>;
 
     /// Snapshot of communication counters (monotone; diff two snapshots to
     /// measure a phase). The trivial communicator reports zeros.
@@ -74,7 +78,7 @@ pub trait Comm {
     /// Generic allreduce with a commutative, associative `combine`.
     fn allreduce<T, F>(&self, value: T, combine: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Wire,
         F: Fn(T, T) -> T,
     {
         let all = self.allgather(vec![value]);
@@ -136,7 +140,7 @@ pub trait Comm {
 
     /// Broadcast from `root`: `value` must be `Some` on the root and is
     /// ignored elsewhere.
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+    fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
         debug_assert!(root < self.size());
         let contribution = if self.rank() == root {
             vec![value.expect("root must supply a value")]
@@ -149,8 +153,30 @@ pub trait Comm {
 }
 
 /// The trivial communicator: one rank, no communication.
+///
+/// Collective *calls* are still counted: every collective records one op
+/// with zero rounds and zero received bytes, exactly what a [`ThreadComm`]
+/// of size 1 records — so p = 1 runs report the same per-kind op counts on
+/// either communicator and measured-vs-modeled comparisons stay
+/// apples-to-apples. (Previously only the trait-default bodies ran here
+/// and nothing was recorded at all, so p = 1 op counts were unevenly zero
+/// across kinds.) The counters live in a thread-local cell shared by all
+/// `SelfComm` values on a thread — the instances are stateless and
+/// indistinguishable, and [`CommStats`] snapshots are diffed around
+/// phases, so sharing monotone counters is observationally equivalent to
+/// per-instance cells.
 #[derive(Debug, Clone, Default)]
 pub struct SelfComm;
+
+thread_local! {
+    static SELF_STATS: stats::StatsCell = stats::StatsCell::default();
+}
+
+impl SelfComm {
+    fn note(&self, kind: Collective) {
+        SELF_STATS.with(|c| c.record(kind, 0, 0));
+    }
+}
 
 impl Comm for SelfComm {
     fn rank(&self) -> usize {
@@ -163,13 +189,58 @@ impl Comm for SelfComm {
 
     fn barrier(&self) {}
 
-    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather<T: Wire>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        self.note(Collective::Allgather);
         vec![local]
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Wire>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         debug_assert_eq!(sends.len(), 1);
+        self.note(Collective::Alltoallv);
         sends
+    }
+
+    fn stats(&self) -> CommStats {
+        SELF_STATS.with(|c| CommStats::aggregate(1, std::slice::from_ref(c)))
+    }
+
+    // Single-rank collectives are identities; each records its op so the
+    // per-kind call counts match a size-1 ThreadComm.
+
+    fn allreduce<T, F>(&self, value: T, _combine: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        self.note(Collective::Allreduce);
+        value
+    }
+
+    fn allreduce_sum_f64(&self, _buf: &mut [f64]) {
+        self.note(Collective::Allreduce);
+    }
+
+    fn allreduce_max_f64(&self, _buf: &mut [f64]) {
+        self.note(Collective::Allreduce);
+    }
+
+    fn allreduce_min_f64(&self, _buf: &mut [f64]) {
+        self.note(Collective::Allreduce);
+    }
+
+    fn allreduce_sum_u64(&self, _buf: &mut [u64]) {
+        self.note(Collective::Allreduce);
+    }
+
+    fn exscan_sum_u64(&self, _value: u64) -> u64 {
+        self.note(Collective::Exscan);
+        0
+    }
+
+    fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+        debug_assert_eq!(root, 0);
+        self.note(Collective::Broadcast);
+        value.expect("root must supply a value")
     }
 }
 
@@ -183,6 +254,7 @@ mod tests {
         assert_eq!(c.rank(), 0);
         assert_eq!(c.size(), 1);
         c.barrier();
+        let before = c.stats();
         assert_eq!(c.allgather(vec![1, 2, 3]), vec![vec![1, 2, 3]]);
         assert_eq!(c.alltoallv(vec![vec![9]]), vec![vec![9]]);
         let mut buf = [1.0, 2.0];
@@ -191,7 +263,41 @@ mod tests {
         assert_eq!(c.exscan_sum_u64(5), 0);
         assert_eq!(c.broadcast(0, Some(7)), 7);
         assert_eq!(c.allreduce(3, |a, b| a + b), 3);
-        assert_eq!(c.stats(), CommStats::default());
+        // Every collective kind records one op of zero rounds/bytes —
+        // exactly what a size-1 ThreadComm records for the same calls.
+        let d = c.stats().since(&before);
+        assert_eq!(d.rounds(), 0);
+        assert_eq!(d.bytes(), 0);
+        assert_eq!(d.op(Collective::Allgather).ops, 1);
+        assert_eq!(d.op(Collective::Alltoallv).ops, 1);
+        assert_eq!(d.op(Collective::Allreduce).ops, 2);
+        assert_eq!(d.op(Collective::Exscan).ops, 1);
+        assert_eq!(d.op(Collective::Broadcast).ops, 1);
+    }
+
+    #[test]
+    fn self_comm_op_counts_match_a_size_one_thread_comm() {
+        let sc = SelfComm;
+        let before = sc.stats();
+        let mut buf = vec![1.0f64; 3];
+        sc.allreduce_sum_f64(&mut buf);
+        let _ = sc.exscan_sum_u64(2);
+        let _ = sc.broadcast(0, Some(5u64));
+        let _ = sc.allgather(vec![1u8]);
+        let _ = sc.alltoallv(vec![vec![2u8]]);
+        let self_delta = sc.stats().since(&before);
+        let thread_delta = run_spmd(1, |c| {
+            let before = c.stats();
+            let mut buf = vec![1.0f64; 3];
+            c.allreduce_sum_f64(&mut buf);
+            let _ = c.exscan_sum_u64(2);
+            let _ = c.broadcast(0, Some(5u64));
+            let _ = c.allgather(vec![1u8]);
+            let _ = c.alltoallv(vec![vec![2u8]]);
+            c.stats().since(&before)
+        })
+        .remove(0);
+        assert_eq!(self_delta.per_op, thread_delta.per_op);
     }
 
     /// A communicator providing only the five required methods (forwarded
@@ -209,10 +315,10 @@ mod tests {
         fn barrier(&self) {
             self.0.barrier()
         }
-        fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        fn allgather<T: Wire>(&self, local: Vec<T>) -> Vec<Vec<T>> {
             self.0.allgather(local)
         }
-        fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        fn alltoallv<T: Wire>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
             self.0.alltoallv(sends)
         }
     }

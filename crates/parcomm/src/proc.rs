@@ -1,0 +1,1031 @@
+//! Processes-as-ranks communicator: the real-wires SPMD backend.
+//!
+//! [`run_spmd_proc`] forks `p` worker **OS processes** and runs the same
+//! closure on all of them, exactly like [`run_spmd`](crate::run_spmd) does
+//! with threads — except nothing is shared: every collective payload
+//! crosses a process boundary through Unix-domain sockets, so the α–β
+//! numbers the substrate reports can be *measured* against real kernel
+//! round-trips instead of modeled from counters alone.
+//!
+//! The substrate has three layers:
+//!
+//! * **Rendezvous** — the parent forks workers that meet in a private
+//!   socket directory: each rank binds its own listener, dials every
+//!   lower rank (with retry until the peer has bound), and both sides
+//!   exchange a `HELLO` frame carrying the rank id and a per-job token,
+//!   yielding a full mesh of per-peer streams. A control socketpair per
+//!   rank (created before the fork) carries the final result or panic
+//!   back to the parent.
+//! * **Framing** — every message is `[magic, kind, seq, len]` +
+//!   payload. `kind` is the collective, `seq` a per-communicator call
+//!   counter: because SPMD ranks issue collectives in identical order, a
+//!   mismatch means the streams desynchronized and the worker fails loudly
+//!   instead of deserializing garbage. Payloads are [`Wire`]-encoded.
+//! * **Collectives** — the *same algorithms* as
+//!   [`ThreadComm`](crate::ThreadComm): recursive-doubling (butterfly)
+//!   reductions with the identical rank-ordered combine tree, the
+//!   Hillis–Steele exscan, root-sends broadcast, and ring
+//!   allgather/alltoallv. Reduction trees being identical makes results
+//!   **bitwise-equal** to the thread backend at the same `p`, which is
+//!   what the cross-backend conformance suite pins.
+//!
+//! Failure semantics (the part a shared-memory simulation cannot give
+//! you): a rank that panics reports through its control socket and exits;
+//! a rank that *dies* (kill -9, `process::exit`) just disappears — its
+//! sockets close, peers' blocking reads return EOF, and they panic with a
+//! "peer hung up" error that propagates the failure instead of hanging
+//! the job. The parent additionally enforces a deadline
+//! (`GEO_PROC_TIMEOUT_SECS`, default 120 s) and SIGKILLs stragglers, so a
+//! genuinely hung worker also becomes a clean [`ProcError`].
+//!
+//! Deadlock avoidance on the wire: frames at or below [`EAGER_MAX`] bytes
+//! are written eagerly (they fit the socket buffer, so the write cannot
+//! block) and read afterwards; larger pairwise exchanges fall back to a
+//! rank-ordered rendezvous (lower rank writes first while the higher rank
+//! drains), and larger ring steps overlap the write on a scoped thread —
+//! the same eager/rendezvous split real MPI implementations use.
+//!
+//! Unlike `ThreadComm`, a process cannot read its peers' counters without
+//! more communication, so [`ProcComm::stats`] reports *this rank's* view
+//! (`ranks = 1`): `bytes_per_rank()` is then exactly this rank's received
+//! volume — the quantity the α–β model multiplies by β — and `rounds`
+//! are identical on every rank by the SPMD contract.
+
+#![cfg(unix)]
+
+use std::cell::Cell;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::stats::{Collective, CommStats, StatsCell};
+use crate::wire::{from_wire, to_wire, Wire};
+use crate::Comm;
+
+/// Largest frame payload written eagerly (before reading): must stay
+/// comfortably under the kernel's default Unix-socket buffer so an eager
+/// write can never block against an un-drained peer.
+const EAGER_MAX: usize = 64 * 1024;
+
+/// Seconds a job may run before the parent kills the workers
+/// (override with `GEO_PROC_TIMEOUT_SECS`).
+const DEFAULT_TIMEOUT_SECS: f64 = 120.0;
+
+/// Seconds the mesh rendezvous may take before a worker gives up.
+const RENDEZVOUS_TIMEOUT_SECS: f64 = 20.0;
+
+/// Raw process primitives, declared directly against the platform libc
+/// that std already links (the workspace builds offline; no `libc` crate).
+mod sys {
+    extern "C" {
+        pub fn fork() -> i32;
+        pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    pub const SIGKILL: i32 = 9;
+
+    /// Decode a `waitpid` status into a human-readable failure, or `None`
+    /// for a clean zero exit.
+    pub fn failure_of(status: i32) -> Option<String> {
+        if status & 0x7f == 0 {
+            let code = (status >> 8) & 0xff;
+            (code != 0).then(|| format!("exited with code {code}"))
+        } else {
+            Some(format!("killed by signal {}", status & 0x7f))
+        }
+    }
+}
+
+/// Why a multi-process SPMD job failed.
+#[derive(Debug)]
+pub enum ProcError {
+    /// The workers could not be spawned or the rendezvous directory could
+    /// not be set up.
+    Spawn(io::Error),
+    /// A rank died, panicked, or broke the protocol; `detail` carries the
+    /// panic message or exit status.
+    RankFailed {
+        /// The failing rank.
+        rank: usize,
+        /// Panic message, exit status, or protocol violation.
+        detail: String,
+    },
+    /// A rank did not report a result before the job deadline and was
+    /// killed.
+    Timeout {
+        /// The first rank that missed the deadline.
+        rank: usize,
+        /// The deadline that was enforced.
+        seconds: f64,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Spawn(e) => write!(f, "failed to spawn SPMD workers: {e}"),
+            ProcError::RankFailed { rank, detail } => {
+                write!(f, "SPMD rank {rank} failed: {detail}")
+            }
+            ProcError::Timeout { rank, seconds } => {
+                write!(f, "SPMD rank {rank} missed the {seconds}s job deadline and was killed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+/// Frame kinds on the wire (one byte).
+mod kind {
+    pub const HELLO: u8 = 1;
+    pub const BARRIER: u8 = 2;
+    pub const ALLGATHER: u8 = 3;
+    pub const ALLREDUCE: u8 = 4;
+    pub const BROADCAST: u8 = 5;
+    pub const EXSCAN: u8 = 6;
+    pub const ALLTOALLV: u8 = 7;
+    pub const PROBE: u8 = 8;
+    pub const RESULT: u8 = 9;
+    pub const PANIC: u8 = 10;
+}
+
+/// Length-prefixed framing over a stream: `[magic u32][kind u8][pad ×3]
+/// [seq u64][len u64]` followed by `len` payload bytes.
+mod frame {
+    use super::*;
+
+    const MAGIC: u32 = 0x47454F46; // "GEOF"
+    pub const HEADER: usize = 24;
+    /// Upper bound on a single frame payload (8 GiB): a corrupt length
+    /// fails fast instead of attempting a matching allocation.
+    const MAX_LEN: u64 = 1 << 33;
+
+    pub fn write(stream: &UnixStream, kind: u8, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let mut head = [0u8; HEADER];
+        head[..4].copy_from_slice(&MAGIC.to_le_bytes());
+        head[4] = kind;
+        head[8..16].copy_from_slice(&seq.to_le_bytes());
+        head[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut w = stream;
+        if payload.len() <= EAGER_MAX {
+            // One buffer, one write: eager frames must hit the socket in a
+            // single syscall so the "cannot block" reasoning holds.
+            let mut buf = Vec::with_capacity(HEADER + payload.len());
+            buf.extend_from_slice(&head);
+            buf.extend_from_slice(payload);
+            w.write_all(&buf)
+        } else {
+            w.write_all(&head)?;
+            w.write_all(payload)
+        }
+    }
+
+    /// Read one frame, requiring `kind` and `seq` to match what the SPMD
+    /// call order predicts.
+    pub fn read(stream: &UnixStream, kind: u8, seq: u64) -> io::Result<Vec<u8>> {
+        let mut r = stream;
+        let mut head = [0u8; HEADER];
+        r.read_exact(&mut head)?;
+        let magic = u32::from_le_bytes(head[..4].try_into().unwrap());
+        let got_kind = head[4];
+        let got_seq = u64::from_le_bytes(head[8..16].try_into().unwrap());
+        let len = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        if magic != MAGIC || got_kind != kind || got_seq != seq || len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame desync: got (magic {magic:#x}, kind {got_kind}, seq {got_seq}, \
+                     len {len}), expected (kind {kind}, seq {seq})"
+                ),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+/// One rank's handle into a processes-as-ranks communicator: a full mesh
+/// of per-peer Unix-domain streams plus this rank's counters.
+#[derive(Debug)]
+pub struct ProcComm {
+    rank: usize,
+    size: usize,
+    /// `peers[s]` is the stream to rank `s` (`None` at `s == rank`).
+    peers: Vec<Option<UnixStream>>,
+    /// Collective call counter; stamped into every frame of a call.
+    seq: Cell<u64>,
+    stats: StatsCell,
+}
+
+impl ProcComm {
+    /// Worker-side rendezvous: bind own listener, dial every lower rank,
+    /// accept every higher rank, handshake with `HELLO{rank}` frames
+    /// carrying the job token.
+    fn connect(dir: &Path, rank: usize, size: usize, job: u64) -> io::Result<ProcComm> {
+        let deadline = Instant::now() + Duration::from_secs_f64(RENDEZVOUS_TIMEOUT_SECS);
+        let sock = |r: usize| dir.join(format!("r{r}.sock"));
+        let mut peers: Vec<Option<UnixStream>> = (0..size).map(|_| None).collect();
+        let listener = UnixListener::bind(sock(rank))?;
+        listener.set_nonblocking(true)?;
+        // Dial lower ranks, retrying until the peer has bound its path.
+        #[allow(clippy::needless_range_loop)] // `s` is a rank id, not just an index
+        for s in 0..rank {
+            let stream = loop {
+                match UnixStream::connect(sock(s)) {
+                    Ok(st) => break st,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("rank {rank}: rendezvous with rank {s} timed out: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            };
+            frame::write(&stream, kind::HELLO, job, &to_wire(&(rank as u64)))?;
+            peers[s] = Some(stream);
+        }
+        // Accept higher ranks; the hello tells us which one dialed in.
+        for _ in rank + 1..size {
+            let stream = loop {
+                match listener.accept() {
+                    Ok((st, _)) => break st,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("rank {rank}: rendezvous accept timed out"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_read_timeout(Some(deadline.saturating_duration_since(Instant::now())))?;
+            let hello = frame::read(&stream, kind::HELLO, job)?;
+            let s = from_wire::<u64>(&hello) as usize;
+            if s <= rank || s >= size || peers[s].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("rank {rank}: bogus hello from rank {s}"),
+                ));
+            }
+            stream.set_read_timeout(None)?;
+            peers[s] = Some(stream);
+        }
+        Ok(ProcComm { rank, size, peers, seq: Cell::new(0), stats: StatsCell::default() })
+    }
+
+    fn peer(&self, r: usize) -> &UnixStream {
+        self.peers[r].as_ref().unwrap_or_else(|| panic!("rank {} has no stream to {r}", self.rank))
+    }
+
+    /// Next collective sequence number (stamped into this call's frames).
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get() + 1;
+        self.seq.set(s);
+        s
+    }
+
+    fn record(&self, kindc: Collective, rounds: u64, received_bytes: u64) {
+        self.stats.record(kindc, rounds, received_bytes);
+    }
+
+    fn send(&self, to: usize, k: u8, seq: u64, payload: &[u8]) {
+        frame::write(self.peer(to), k, seq, payload).unwrap_or_else(|e| {
+            panic!("rank {}: send to rank {to} failed (kind {k}, seq {seq}): {e}", self.rank)
+        });
+    }
+
+    fn recv(&self, from: usize, k: u8, seq: u64) -> Vec<u8> {
+        frame::read(self.peer(from), k, seq).unwrap_or_else(|e| {
+            let why = if e.kind() == io::ErrorKind::UnexpectedEof {
+                "peer hung up mid-collective (rank died?)".to_string()
+            } else {
+                e.to_string()
+            };
+            panic!("rank {}: recv from rank {from} failed (kind {k}, seq {seq}): {why}", self.rank)
+        })
+    }
+
+    /// Symmetric pairwise exchange with `peer` (both sides send
+    /// same-kind frames). Eager for small payloads; rank-ordered
+    /// write-then-read rendezvous for large ones, so neither side can
+    /// block forever against a full socket buffer.
+    fn exchange(&self, peer: usize, k: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+        if payload.len() <= EAGER_MAX || self.rank < peer {
+            self.send(peer, k, seq, payload);
+            self.recv(peer, k, seq)
+        } else {
+            let got = self.recv(peer, k, seq);
+            self.send(peer, k, seq, payload);
+            got
+        }
+    }
+
+    /// Ring step: send `payload` to `to` while receiving from `from`
+    /// (`to != from` in general). Large payloads overlap the write on a
+    /// scoped thread because a ring of blocking writes can cycle.
+    fn sendrecv(&self, to: usize, k: u8, seq: u64, payload: &[u8], from: usize) -> Vec<u8> {
+        if payload.len() <= EAGER_MAX {
+            self.send(to, k, seq, payload);
+            self.recv(from, k, seq)
+        } else {
+            let to_stream = self.peer(to);
+            let me = self.rank;
+            std::thread::scope(|sc| {
+                sc.spawn(move || {
+                    frame::write(to_stream, k, seq, payload).unwrap_or_else(|e| {
+                        panic!("rank {me}: send to rank {to} failed (kind {k}, seq {seq}): {e}")
+                    });
+                });
+                self.recv(from, k, seq)
+            })
+        }
+    }
+
+    /// Recursive-doubling butterfly with the **identical** fold/unfold
+    /// schedule and rank-ordered combine tree as
+    /// [`ThreadComm`](crate::ThreadComm) — see `thread.rs` — so reductions
+    /// are bitwise-equal across backends at the same `p`.
+    fn butterfly<T, F>(&self, kindc: Collective, k: u8, value: T, combine: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        let p = self.size;
+        if p == 1 {
+            self.record(kindc, 0, 0);
+            return value;
+        }
+        let seq = self.next_seq();
+        let r = self.rank;
+        let q = prev_power_of_two(p);
+        let extra = p - q;
+        let log_q = q.trailing_zeros() as u64;
+        let rounds = log_q + if extra > 0 { 2 } else { 0 };
+        let mut received = 0u64;
+        let mut acc = value;
+
+        // Fold step: ranks q..p send their contribution to rank r−q.
+        if extra > 0 {
+            if r >= q {
+                self.send(r - q, k, seq, &to_wire(&acc));
+            } else if r < extra {
+                let bytes = self.recv(r + q, k, seq);
+                received += bytes.len() as u64;
+                let theirs = from_wire::<T>(&bytes);
+                acc = combine(acc, theirs);
+            }
+        }
+
+        // Butterfly among ranks 0..q.
+        let mut gap = 1;
+        while gap < q {
+            if r < q {
+                let partner = r ^ gap;
+                let bytes = self.exchange(partner, k, seq, &to_wire(&acc));
+                received += bytes.len() as u64;
+                let theirs = from_wire::<T>(&bytes);
+                acc = if partner < r { combine(theirs, acc) } else { combine(acc, theirs) };
+            }
+            gap <<= 1;
+        }
+
+        // Unfold step: ranks 0..extra hand the result back to r+q.
+        if extra > 0 {
+            if r < extra {
+                self.send(r + q, k, seq, &to_wire(&acc));
+            } else if r >= q {
+                let bytes = self.recv(r - q, k, seq);
+                received += bytes.len() as u64;
+                acc = from_wire::<T>(&bytes);
+            }
+        }
+        self.record(kindc, rounds, received);
+        acc
+    }
+
+    /// Element-wise butterfly reduction of a slice, in place.
+    fn butterfly_slice<T, F>(&self, kindc: Collective, k: u8, buf: &mut [T], op: F)
+    where
+        T: Wire + Copy,
+        F: Fn(T, T) -> T,
+    {
+        let out = self.butterfly(kindc, k, buf.to_vec(), |mut lower, higher| {
+            for (x, t) in lower.iter_mut().zip(higher) {
+                *x = op(*x, t);
+            }
+            lower
+        });
+        buf.copy_from_slice(&out);
+    }
+
+    /// Raw pairwise exchange with rank `rank ^ 1`, outside the collective
+    /// bookkeeping: the calibration probe [`measure_alpha_beta`] uses this
+    /// to time exactly one frame each way with no serialization overhead.
+    pub fn probe_exchange(&self, payload: &[u8]) -> Vec<u8> {
+        assert!(self.size >= 2, "probe needs a partner rank");
+        let partner = self.rank ^ 1;
+        let seq = self.next_seq();
+        self.exchange(partner, kind::PROBE, seq, payload)
+    }
+}
+
+/// Largest power of two `≤ n` (`n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+impl Comm for ProcComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn barrier(&self) {
+        // Dissemination barrier: ⌈log₂ p⌉ rounds of 0-byte frames; rank r
+        // talks to r±gap for doubling gaps. Like ThreadComm's barrier it
+        // records no stats.
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let seq = self.next_seq();
+        let mut gap = 1;
+        while gap < p {
+            let to = (self.rank + gap) % p;
+            let from = (self.rank + p - gap) % p;
+            let _ = self.sendrecv(to, kind::BARRIER, seq, &[], from);
+            gap <<= 1;
+        }
+    }
+
+    fn allgather<T: Wire>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.size;
+        if p == 1 {
+            self.record(Collective::Allgather, 0, 0);
+            return vec![local];
+        }
+        let seq = self.next_seq();
+        let bytes = to_wire(&local);
+        let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        out[self.rank] = Some(local);
+        let mut received = 0u64;
+        // Ring: step d sends own vector to r+d and receives rank (r−d)'s.
+        for d in 1..p {
+            let to = (self.rank + d) % p;
+            let from = (self.rank + p - d) % p;
+            let got = self.sendrecv(to, kind::ALLGATHER, seq, &bytes, from);
+            received += got.len() as u64;
+            out[from] = Some(from_wire::<Vec<T>>(&got));
+        }
+        // p−1 transfer steps: the wire really does p−1 serialized rounds
+        // where the shared-memory backend deposits once (1 round).
+        self.record(Collective::Allgather, (p - 1) as u64, received);
+        out.into_iter().map(|v| v.expect("ring filled every slot")).collect()
+    }
+
+    fn alltoallv<T: Wire>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size;
+        assert_eq!(sends.len(), p, "one send buffer per rank");
+        if p == 1 {
+            self.record(Collective::Alltoallv, 0, 0);
+            return sends;
+        }
+        let seq = self.next_seq();
+        let mut sends = sends;
+        let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        out[self.rank] = Some(std::mem::take(&mut sends[self.rank]));
+        let mut received = 0u64;
+        for d in 1..p {
+            let to = (self.rank + d) % p;
+            let from = (self.rank + p - d) % p;
+            let payload = to_wire(&sends[to]);
+            let got = self.sendrecv(to, kind::ALLTOALLV, seq, &payload, from);
+            received += got.len() as u64;
+            out[from] = Some(from_wire::<Vec<T>>(&got));
+        }
+        self.record(Collective::Alltoallv, (p - 1) as u64, received);
+        out.into_iter().map(|v| v.expect("ring filled every slot")).collect()
+    }
+
+    fn allreduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        self.butterfly(Collective::Allreduce, kind::ALLREDUCE, value, combine)
+    }
+
+    fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, kind::ALLREDUCE, buf, |a, b| a + b);
+    }
+
+    fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, kind::ALLREDUCE, buf, f64::max);
+    }
+
+    fn allreduce_min_f64(&self, buf: &mut [f64]) {
+        self.butterfly_slice(Collective::Allreduce, kind::ALLREDUCE, buf, f64::min);
+    }
+
+    fn allreduce_sum_u64(&self, buf: &mut [u64]) {
+        self.butterfly_slice(Collective::Allreduce, kind::ALLREDUCE, buf, |a, b| {
+            a.wrapping_add(b)
+        });
+    }
+
+    fn exscan_sum_u64(&self, value: u64) -> u64 {
+        // Hillis–Steele distributed scan, identical round structure and
+        // accumulation order to ThreadComm's.
+        let p = self.size;
+        if p == 1 {
+            self.record(Collective::Exscan, 0, 0);
+            return 0;
+        }
+        let seq = self.next_seq();
+        let r = self.rank;
+        let rounds = usize::BITS as u64 - (p - 1).leading_zeros() as u64;
+        let mut received = 0u64;
+        let mut exclusive = 0u64;
+        let mut inclusive = value;
+        let mut gap = 1;
+        while gap < p {
+            // Downstream send first (the sends form a DAG toward higher
+            // ranks, so blocking writes cannot cycle), then receive.
+            if r + gap < p {
+                self.send(r + gap, kind::EXSCAN, seq, &to_wire(&inclusive));
+            }
+            if r >= gap {
+                let bytes = self.recv(r - gap, kind::EXSCAN, seq);
+                received += bytes.len() as u64;
+                let theirs = from_wire::<u64>(&bytes);
+                exclusive += theirs;
+                inclusive += theirs;
+            }
+            gap <<= 1;
+        }
+        self.record(Collective::Exscan, rounds, received);
+        exclusive
+    }
+
+    fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+        debug_assert!(root < self.size);
+        if self.size == 1 {
+            self.record(Collective::Broadcast, 0, 0);
+            return value.expect("root must supply a value");
+        }
+        let seq = self.next_seq();
+        if self.rank == root {
+            let v = value.expect("root must supply a value");
+            let bytes = to_wire(&v);
+            for s in 0..self.size {
+                if s != root {
+                    self.send(s, kind::BROADCAST, seq, &bytes);
+                }
+            }
+            self.record(Collective::Broadcast, 1, 0);
+            v
+        } else {
+            let bytes = self.recv(root, kind::BROADCAST, seq);
+            self.record(Collective::Broadcast, 1, bytes.len() as u64);
+            from_wire::<T>(&bytes)
+        }
+    }
+
+    /// This rank's counters, as a per-rank view (`ranks = 1`): a process
+    /// cannot observe its peers' cells without extra communication, and
+    /// the per-rank received volume is exactly what the β term of the
+    /// cost model needs.
+    fn stats(&self) -> CommStats {
+        CommStats::aggregate(1, std::slice::from_ref(&self.stats))
+    }
+}
+
+/// Monotone job counter, so concurrent/nested jobs in one process get
+/// distinct rendezvous directories.
+static JOB_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn job_timeout() -> f64 {
+    std::env::var("GEO_PROC_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(DEFAULT_TIMEOUT_SECS)
+}
+
+/// Worker body after the fork: rendezvous, run `f`, report the result (or
+/// the panic message) over the control socket, and exit without returning
+/// into the caller's stack.
+fn child_main<R, F>(ctrl: UnixStream, dir: PathBuf, rank: usize, size: usize, job: u64, f: F) -> !
+where
+    R: Wire,
+    F: Fn(ProcComm) -> R,
+{
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let comm = ProcComm::connect(&dir, rank, size, job)
+            .unwrap_or_else(|e| panic!("rank {rank}: rendezvous failed: {e}"));
+        f(comm)
+    }));
+    let code = match outcome {
+        Ok(v) => {
+            let _ = frame::write(&ctrl, kind::RESULT, job, &to_wire(&v));
+            0
+        }
+        Err(payload) => {
+            let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s
+            } else {
+                "worker panicked (non-string payload)"
+            };
+            let _ = frame::write(&ctrl, kind::PANIC, job, msg.as_bytes());
+            101
+        }
+    };
+    std::process::exit(code)
+}
+
+/// Run `f` as an SPMD program on `p` ranks, each a forked **worker
+/// process**, and return the per-rank results indexed by rank.
+///
+/// The closure is inherited through `fork`, so like [`run_spmd`]
+/// (crate::run_spmd) it can capture arbitrary borrowed data — but all
+/// rank-to-rank communication goes over Unix-domain sockets and the
+/// result crosses back to the parent [`Wire`]-encoded. Any rank that
+/// panics, dies, or hangs turns into an `Err` here instead of a deadlock:
+/// peers of a dead rank fail on EOF, and the parent SIGKILLs the job at
+/// the `GEO_PROC_TIMEOUT_SECS` deadline (default 120 s).
+pub fn run_spmd_proc<R, F>(p: usize, f: F) -> Result<Vec<R>, ProcError>
+where
+    R: Wire,
+    F: Fn(ProcComm) -> R,
+{
+    assert!(p > 0, "communicator needs at least one rank");
+    let job = JOB_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let token = {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        (std::process::id() as u64) << 32 ^ job << 8 ^ nanos
+    };
+    let dir = std::env::temp_dir().join(format!("geo-spmd-{}-{job}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(ProcError::Spawn)?;
+
+    let mut parents: Vec<UnixStream> = Vec::with_capacity(p);
+    let mut pids: Vec<i32> = Vec::with_capacity(p);
+    let kill_all = |pids: &[i32]| {
+        for &pid in pids {
+            unsafe {
+                sys::kill(pid, sys::SIGKILL);
+            }
+        }
+        for &pid in pids {
+            let mut status = 0i32;
+            unsafe {
+                sys::waitpid(pid, &mut status, 0);
+            }
+        }
+    };
+    for rank in 0..p {
+        let (pa, ch) = match UnixStream::pair() {
+            Ok(pair) => pair,
+            Err(e) => {
+                kill_all(&pids);
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(ProcError::Spawn(e));
+            }
+        };
+        let pid = unsafe { sys::fork() };
+        if pid < 0 {
+            kill_all(&pids);
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(ProcError::Spawn(io::Error::last_os_error()));
+        }
+        if pid == 0 {
+            // Worker: close the inherited parent-side endpoints of ranks
+            // forked before us, keep only our child end, and never return.
+            drop(std::mem::take(&mut parents));
+            drop(pa);
+            child_main(ch, dir, rank, p, token, f)
+        }
+        parents.push(pa);
+        drop(ch);
+        pids.push(pid);
+    }
+
+    // Collect one result or panic frame per rank, under a job deadline.
+    let timeout = job_timeout();
+    let deadline = Instant::now() + Duration::from_secs_f64(timeout);
+    let mut failure: Option<ProcError> = None;
+    let mut payloads: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+    for (rank, ctrl) in parents.iter().enumerate() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            failure.get_or_insert(ProcError::Timeout { rank, seconds: timeout });
+            continue;
+        }
+        // `set_read_timeout` rejects a zero duration; remaining > 0 here.
+        if ctrl.set_read_timeout(Some(remaining)).is_err() {
+            failure.get_or_insert(ProcError::RankFailed {
+                rank,
+                detail: "control socket unusable".into(),
+            });
+            continue;
+        }
+        let mut head = [0u8; frame::HEADER];
+        let outcome = (&mut (&*ctrl)).read_exact(&mut head).and_then(|()| {
+            let k = head[4];
+            let len = u64::from_le_bytes(head[16..24].try_into().unwrap()) as usize;
+            let mut payload = vec![0u8; len];
+            (&mut (&*ctrl)).read_exact(&mut payload)?;
+            Ok((k, payload))
+        });
+        match outcome {
+            Ok((k, payload)) if k == kind::RESULT => payloads[rank] = Some(payload),
+            Ok((k, payload)) if k == kind::PANIC => {
+                failure.get_or_insert(ProcError::RankFailed {
+                    rank,
+                    detail: String::from_utf8_lossy(&payload).into_owned(),
+                });
+            }
+            Ok((k, _)) => {
+                failure.get_or_insert(ProcError::RankFailed {
+                    rank,
+                    detail: format!("protocol violation: unexpected frame kind {k}"),
+                });
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                failure.get_or_insert(ProcError::Timeout { rank, seconds: timeout });
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                failure.get_or_insert(ProcError::RankFailed {
+                    rank,
+                    detail: "worker process died without reporting a result".into(),
+                });
+            }
+            Err(e) => {
+                failure.get_or_insert(ProcError::RankFailed { rank, detail: e.to_string() });
+            }
+        }
+    }
+
+    if failure.is_some() {
+        // Stragglers may be blocked on a dead peer; put the job down hard.
+        kill_all(&pids);
+    } else {
+        for (rank, &pid) in pids.iter().enumerate() {
+            let mut status = 0i32;
+            let r = unsafe { sys::waitpid(pid, &mut status, 0) };
+            if r == pid {
+                if let Some(detail) = sys::failure_of(status) {
+                    failure.get_or_insert(ProcError::RankFailed { rank, detail });
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(payloads
+        .into_iter()
+        .map(|b| from_wire::<R>(&b.expect("result frame present for every rank")))
+        .collect())
+}
+
+/// Measured α–β constants of the process substrate, from wire-level
+/// probes.
+#[derive(Debug, Clone)]
+pub struct MeasuredAlphaBeta {
+    /// Seconds per synchronization round (one pairwise exchange):
+    /// intercept of the probe line.
+    pub alpha: f64,
+    /// Seconds per payload byte received by a rank: slope of the probe
+    /// line in the bandwidth-bound regime.
+    pub beta: f64,
+    /// Raw probe table: `(message bytes, seconds per exchange)`.
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// Measure α (per-round latency) and β (per-byte cost) of the real
+/// socket substrate with a two-rank ping-pong and streaming probe:
+/// `reps` timed pairwise exchanges at each message size; α comes from the
+/// small-message plateau, β from the slope between the largest sizes.
+pub fn measure_alpha_beta(reps: usize) -> Result<MeasuredAlphaBeta, ProcError> {
+    assert!(reps >= 1);
+    let sizes: [usize; 6] = [8, 1024, 8192, 65536, 262144, 1048576];
+    let mut results = run_spmd_proc(2, |c| {
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        for &s in &sizes {
+            let payload = vec![0u8; s];
+            for _ in 0..3 {
+                let _ = c.probe_exchange(&payload);
+            }
+            let t = Instant::now();
+            for _ in 0..reps {
+                let _ = c.probe_exchange(&payload);
+            }
+            samples.push((s as u64, t.elapsed().as_secs_f64() / reps as f64));
+        }
+        samples
+    })?;
+    let samples = results.remove(0);
+    let (s_lo, t_lo) = samples[samples.len() - 2];
+    let (s_hi, t_hi) = samples[samples.len() - 1];
+    let beta = ((t_hi - t_lo) / (s_hi - s_lo) as f64).max(0.0);
+    let alpha = samples
+        .iter()
+        .take(2)
+        .map(|&(s, t)| (t - beta * s as f64).max(0.0))
+        .sum::<f64>()
+        / 2.0;
+    Ok(MeasuredAlphaBeta { alpha, beta, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_allreduce_sum_matches_serial() {
+        let results = run_spmd_proc(4, |c| {
+            let mut buf = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum_f64(&mut buf);
+            buf
+        })
+        .expect("job runs");
+        for r in results {
+            assert_eq!(r, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn proc_collectives_match_thread_comm_bitwise() {
+        // Same reduction tree ⇒ bitwise-identical non-associative sums,
+        // power-of-two and non-power-of-two rank counts alike.
+        for p in [2usize, 3, 5] {
+            let thread = crate::run_spmd(p, |c| {
+                let mut buf: Vec<f64> =
+                    (0..9).map(|i| 0.1 * (c.rank() * 13 + i) as f64).collect();
+                c.allreduce_sum_f64(&mut buf);
+                (buf, c.exscan_sum_u64(c.rank() as u64 + 3))
+            });
+            let procs = run_spmd_proc(p, |c| {
+                let mut buf: Vec<f64> =
+                    (0..9).map(|i| 0.1 * (c.rank() * 13 + i) as f64).collect();
+                c.allreduce_sum_f64(&mut buf);
+                (buf, c.exscan_sum_u64(c.rank() as u64 + 3))
+            })
+            .expect("job runs");
+            for (t, q) in thread.iter().zip(&procs) {
+                assert_eq!(
+                    t.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    q.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "p={p}: backends disagree bitwise"
+                );
+                assert_eq!(t.1, q.1, "p={p}: exscan disagrees");
+            }
+        }
+    }
+
+    #[test]
+    fn proc_allgather_and_alltoallv_route_correctly() {
+        let results = run_spmd_proc(4, |c| {
+            let all = c.allgather(vec![c.rank() as u64; c.rank() + 1]);
+            let sends: Vec<Vec<u64>> =
+                (0..4).map(|d| vec![100 * c.rank() as u64 + d as u64]).collect();
+            let recv = c.alltoallv(sends);
+            (all, recv)
+        })
+        .expect("job runs");
+        for (r, (all, recv)) in results.iter().enumerate() {
+            assert_eq!(all.iter().map(|v| v.len()).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+            for (s, v) in recv.iter().enumerate() {
+                assert_eq!(v, &vec![100 * s as u64 + r as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn proc_broadcast_and_barrier() {
+        let results = run_spmd_proc(3, |c| {
+            c.barrier();
+            let v = c.broadcast(1, (c.rank() == 1).then(|| vec![5u32, 6]));
+            c.barrier();
+            v
+        })
+        .expect("job runs");
+        for r in results {
+            assert_eq!(r, vec![5, 6]);
+        }
+    }
+
+    #[test]
+    fn proc_single_rank_works() {
+        let results = run_spmd_proc(1, |c| {
+            let mut buf = vec![3.0];
+            c.allreduce_sum_f64(&mut buf);
+            (buf[0], c.exscan_sum_u64(9), c.broadcast(0, Some(4u32)))
+        })
+        .expect("job runs");
+        assert_eq!(results, vec![(3.0, 0, 4)]);
+    }
+
+    #[test]
+    fn proc_large_payload_exchange() {
+        // Above EAGER_MAX: exercises the rank-ordered rendezvous and the
+        // scoped-thread ring path.
+        let n = 40_000; // 320 KB of f64 per message
+        let results = run_spmd_proc(2, |c| {
+            let mut buf = vec![1.5f64; n];
+            c.allreduce_sum_f64(&mut buf);
+            let all = c.allgather(vec![c.rank() as u64; n]);
+            (buf[0], all[1][0])
+        })
+        .expect("job runs");
+        for (sum, g) in results {
+            assert_eq!(sum, 3.0);
+            assert_eq!(g, 1);
+        }
+    }
+
+    #[test]
+    fn proc_panicking_rank_is_a_clean_error_not_a_hang() {
+        let err = run_spmd_proc(3, |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            let mut buf = vec![1.0];
+            c.allreduce_sum_f64(&mut buf);
+            buf[0]
+        })
+        .expect_err("job must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("exploded") || msg.contains("rank"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn proc_killed_rank_is_a_clean_error_not_a_hang() {
+        // A worker that dies without unwinding (exit ≈ kill -9 as far as
+        // peers can tell: sockets close, no panic report).
+        let err = run_spmd_proc(3, |c| {
+            if c.rank() == 2 {
+                std::process::exit(7);
+            }
+            let mut buf = vec![1.0];
+            c.allreduce_sum_f64(&mut buf);
+            buf[0]
+        })
+        .expect_err("job must fail");
+        match err {
+            ProcError::RankFailed { .. } | ProcError::Timeout { .. } => {}
+            other => panic!("unexpected error shape: {other}"),
+        }
+    }
+
+    #[test]
+    fn proc_stats_are_per_rank_views() {
+        let results = run_spmd_proc(2, |c| {
+            let before = c.stats();
+            let mut buf = vec![0.0f64; 4];
+            c.allreduce_sum_f64(&mut buf);
+            let d = c.stats().since(&before);
+            (d.op(Collective::Allreduce).rounds, d.op(Collective::Allreduce).bytes)
+        })
+        .expect("job runs");
+        for (rounds, bytes) in results {
+            assert_eq!(rounds, 1, "p=2 butterfly is one round");
+            // Serialized Vec<f64> of 4 elements: 8-byte length + 32 bytes.
+            assert_eq!(bytes, 40);
+        }
+    }
+
+    #[test]
+    fn measured_alpha_beta_is_sane() {
+        let m = measure_alpha_beta(20).expect("calibration runs");
+        assert!(m.alpha > 0.0 && m.alpha < 0.1, "alpha {} out of range", m.alpha);
+        assert!(m.beta >= 0.0 && m.beta < 1e-4, "beta {} out of range", m.beta);
+        assert_eq!(m.samples.len(), 6);
+    }
+}

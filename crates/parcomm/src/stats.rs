@@ -23,6 +23,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::wire::{Wire, WireCursor};
+
 /// The collective kinds the substrate distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Collective {
@@ -129,6 +131,19 @@ pub struct CommStats {
 }
 
 impl CommStats {
+    /// Combine per-rank snapshots (`ranks == 1` views, as the process
+    /// backend returns from each worker) into one job-wide view with the
+    /// same convention as [`CommStats::aggregate`]: logical op/round
+    /// counts from rank 0, received bytes summed over all ranks.
+    pub fn from_rank_views(views: &[CommStats]) -> CommStats {
+        assert!(!views.is_empty(), "need at least one rank view");
+        let mut out = CommStats { ranks: views.len() as u64, per_op: views[0].per_op };
+        for i in 0..COLLECTIVE_KINDS {
+            out.per_op[i].bytes = views.iter().map(|v| v.per_op[i].bytes).sum();
+        }
+        out
+    }
+
     /// Aggregate the per-rank cells of one communicator: logical op/round
     /// counts are taken from rank 0 (identical on every rank by the SPMD
     /// contract), received bytes are summed over all ranks.
@@ -165,8 +180,13 @@ impl CommStats {
 
     /// Average payload bytes received per rank — the volume that bounds the
     /// parallel communication time of a symmetric collective schedule.
-    pub fn bytes_per_rank(&self) -> u64 {
-        self.bytes() / self.ranks.max(1)
+    ///
+    /// Returned as an `f64` average: the earlier integer division floored
+    /// sub-rank-count payloads to 0 bytes, silently dropping the β term of
+    /// [`CommStats::modeled_seconds`] for small messages — exactly the
+    /// regime where the scaling figures' latency/bandwidth split matters.
+    pub fn bytes_per_rank(&self) -> f64 {
+        self.bytes() as f64 / self.ranks.max(1) as f64
     }
 
     /// Counter deltas since `earlier` (the rank count carries over).
@@ -182,7 +202,30 @@ impl CommStats {
     /// per synchronization round plus `beta` seconds per byte received by
     /// a rank.
     pub fn modeled_seconds(&self, alpha: f64, beta: f64) -> f64 {
-        self.rounds() as f64 * alpha + self.bytes_per_rank() as f64 * beta
+        self.rounds() as f64 * alpha + self.bytes_per_rank() * beta
+    }
+}
+
+// Snapshots cross the process boundary when the multi-process backend
+// reports per-rank counters back to the parent.
+impl Wire for OpStats {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.ops.wire_write(out);
+        self.rounds.wire_write(out);
+        self.bytes.wire_write(out);
+    }
+    fn wire_read(r: &mut WireCursor<'_>) -> Self {
+        OpStats { ops: u64::wire_read(r), rounds: u64::wire_read(r), bytes: u64::wire_read(r) }
+    }
+}
+
+impl Wire for CommStats {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.ranks.wire_write(out);
+        self.per_op.wire_write(out);
+    }
+    fn wire_read(r: &mut WireCursor<'_>) -> Self {
+        CommStats { ranks: u64::wire_read(r), per_op: Wire::wire_read(r) }
     }
 }
 
@@ -214,7 +257,38 @@ mod tests {
         assert_eq!(s.collectives(), 1);
         assert_eq!(s.rounds(), 1);
         assert_eq!(s.bytes(), 64);
-        assert_eq!(s.bytes_per_rank(), 32);
+        assert_eq!(s.bytes_per_rank(), 32.0);
+    }
+
+    #[test]
+    fn bytes_per_rank_keeps_sub_rank_payloads() {
+        // Regression: 3 bytes over 4 ranks used to floor to 0 and erase
+        // the β term; the average must stay positive.
+        let mut s = CommStats { ranks: 4, per_op: Default::default() };
+        s.per_op[Collective::Alltoallv as usize] = OpStats { ops: 1, rounds: 1, bytes: 3 };
+        assert_eq!(s.bytes_per_rank(), 0.75);
+        let t = s.modeled_seconds(0.0, 1.0);
+        assert!(t > 0.0, "β term must survive bytes < ranks, got {t}");
+    }
+
+    #[test]
+    fn from_rank_views_matches_aggregate_convention() {
+        let mut a = CommStats { ranks: 1, per_op: Default::default() };
+        a.per_op[Collective::Allreduce as usize] = OpStats { ops: 2, rounds: 4, bytes: 100 };
+        let mut b = a;
+        b.per_op[Collective::Allreduce as usize].bytes = 60;
+        let s = CommStats::from_rank_views(&[a, b]);
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.op(Collective::Allreduce), OpStats { ops: 2, rounds: 4, bytes: 160 });
+        assert_eq!(s.bytes_per_rank(), 80.0);
+    }
+
+    #[test]
+    fn comm_stats_roundtrip_the_wire() {
+        let mut s = CommStats { ranks: 3, per_op: Default::default() };
+        s.per_op[Collective::Exscan as usize] = OpStats { ops: 1, rounds: 2, bytes: 16 };
+        let back = crate::wire::from_wire::<CommStats>(&crate::wire::to_wire(&s));
+        assert_eq!(back, s);
     }
 
     #[test]
@@ -244,6 +318,6 @@ mod tests {
     fn default_stats_are_zero_and_safe() {
         let s = CommStats::default();
         assert_eq!(s.collectives(), 0);
-        assert_eq!(s.bytes_per_rank(), 0, "no division by zero ranks");
+        assert_eq!(s.bytes_per_rank(), 0.0, "no division by zero ranks");
     }
 }

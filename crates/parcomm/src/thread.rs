@@ -25,19 +25,34 @@
 //! the per-op [`CommStats`] the α–β cost model consumes.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::stats::{Collective, CommStats, StatsCell};
+use crate::wire::Wire;
 use crate::Comm;
 
-/// A reusable (sense-reversing) barrier for `n` participants.
+/// Sentinel for "no rank has poisoned the communicator".
+const NOT_POISONED: usize = usize::MAX;
+
+/// A reusable (sense-reversing) barrier for `n` participants, with a
+/// poison flag that aborts every present and future wait.
+///
+/// The poison path is the fix for the rank-failure hang: a rank that
+/// panics mid-collective never arrives at the barrier its peers are
+/// blocked in, and before the fix those peers waited forever (and
+/// `run_spmd`'s in-order joins never completed). Poisoning wakes every
+/// waiter and turns their wait into a panic, so the whole SPMD job
+/// unwinds and the *original* panic can be propagated.
 #[derive(Debug)]
 struct Barrier {
     n: usize,
     state: Mutex<BarrierState>,
     cv: Condvar,
+    /// Rank of the first poisoner, or [`NOT_POISONED`].
+    poisoned: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -52,11 +67,20 @@ impl Barrier {
             n,
             state: Mutex::new(BarrierState { waiting: 0, generation: 0 }),
             cv: Condvar::new(),
+            poisoned: AtomicUsize::new(NOT_POISONED),
+        }
+    }
+
+    fn check_poison(&self) {
+        let p = self.poisoned.load(Ordering::Acquire);
+        if p != NOT_POISONED {
+            panic!("SPMD aborted: rank {p} panicked while peers were in a collective");
         }
     }
 
     fn wait(&self) {
         let mut st = self.state.lock();
+        self.check_poison();
         let gen = st.generation;
         st.waiting += 1;
         if st.waiting == self.n {
@@ -66,8 +90,26 @@ impl Barrier {
         } else {
             while st.generation == gen {
                 self.cv.wait(&mut st);
+                // Re-check under the lock: a poisoner wakes all waiters
+                // without advancing the generation.
+                self.check_poison();
             }
         }
+    }
+
+    /// Mark the barrier dead on behalf of `rank` and wake every waiter.
+    /// Idempotent; only the first poisoner is recorded.
+    fn poison(&self, rank: usize) {
+        let _ = self.poisoned.compare_exchange(
+            NOT_POISONED,
+            rank,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        // Take the state lock before notifying so a waiter cannot slip
+        // between its poison check and its `cv.wait` and miss the wakeup.
+        let _guard = self.state.lock();
+        self.cv.notify_all();
     }
 }
 
@@ -240,7 +282,7 @@ impl Comm for ThreadComm {
         self.core.barrier.wait();
     }
 
-    fn allgather<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather<T: Wire>(&self, local: Vec<T>) -> Vec<Vec<T>> {
         let p = self.core.size;
         self.deposit(local);
         self.barrier();
@@ -260,7 +302,7 @@ impl Comm for ThreadComm {
         out
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Wire>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.core.size;
         assert_eq!(sends.len(), p, "one send buffer per rank");
         // Move each send vector into its (sender, receiver) mailbox.
@@ -290,7 +332,7 @@ impl Comm for ThreadComm {
 
     fn allreduce<T, F>(&self, value: T, combine: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Wire,
         F: Fn(T, T) -> T,
     {
         let esz = std::mem::size_of::<T>() as u64;
@@ -344,7 +386,7 @@ impl Comm for ThreadComm {
         exclusive
     }
 
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+    fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
         // Single deposit: the root writes its slot once; the p−1 peers
         // read it. The root takes its own value back out of the slot after
         // the read phase, so nothing is cloned on the root path.
@@ -381,28 +423,73 @@ impl Comm for ThreadComm {
     }
 }
 
+/// Poisons the communicator's barrier if its rank unwinds, so peers
+/// blocked in collectives abort instead of waiting forever for a rank
+/// that will never arrive.
+struct PoisonOnPanic {
+    core: Arc<CommCore>,
+    rank: usize,
+}
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.core.barrier.poison(self.rank);
+        }
+    }
+}
+
 /// Run `f` as an SPMD program on `p` ranks (threads) and return the
 /// per-rank results, indexed by rank.
+///
+/// If any rank panics, the communicator is poisoned so surviving ranks
+/// abort out of their collectives (instead of deadlocking on the dead
+/// rank's barrier/mailbox), and the **first** panic is re-propagated from
+/// this call with its original payload. Ranks that were aborted by the
+/// poison unwind with a secondary "SPMD aborted" panic that is joined and
+/// discarded.
 pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(ThreadComm) -> R + Sync,
 {
     let comms = ThreadComm::create(p);
-    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    let core = Arc::clone(&comms[0].core);
+    let joined: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let f = &f;
-        let mut handles = Vec::with_capacity(p);
-        for (comm, slot) in comms.into_iter().zip(results.iter_mut()) {
-            handles.push(scope.spawn(move || {
-                *slot = Some(f(comm));
-            }));
-        }
-        for h in handles {
-            h.join().expect("SPMD rank panicked");
-        }
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                scope.spawn(move || {
+                    let guard =
+                        PoisonOnPanic { core: Arc::clone(&comm.core), rank: comm.rank };
+                    let out = f(comm);
+                    // Reached only on success; a panic in `f` drops the
+                    // guard while unwinding and poisons the barrier.
+                    std::mem::forget(guard);
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
     });
-    results.into_iter().map(|r| r.expect("rank produced a result")).collect()
+    let first_panicker = core.barrier.poisoned.load(Ordering::Acquire);
+    let mut payloads: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+    let mut results = Vec::with_capacity(p);
+    for (rank, r) in joined.into_iter().enumerate() {
+        match r {
+            Ok(v) => results.push(v),
+            Err(payload) => payloads.push((rank, payload)),
+        }
+    }
+    if let Some(pos) = payloads.iter().position(|(r, _)| *r == first_panicker) {
+        // Re-raise the original panic, not the secondary aborts it caused.
+        std::panic::resume_unwind(payloads.swap_remove(pos).1);
+    }
+    if let Some((_, payload)) = payloads.into_iter().next() {
+        std::panic::resume_unwind(payload);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -634,5 +721,53 @@ mod tests {
                 c.barrier();
             }
         });
+    }
+
+    #[test]
+    fn panicking_rank_unblocks_peers_and_propagates_the_original_panic() {
+        // Regression: rank 2 dies *before* entering the collective its
+        // peers are already blocked in. Without poisoning, ranks 0/1/3
+        // wait forever for a deposit that never comes and the job hangs.
+        let err = std::panic::catch_unwind(|| {
+            run_spmd(4, |c| {
+                if c.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                let mut buf = vec![1.0];
+                c.allreduce_sum_f64(&mut buf);
+                buf[0]
+            })
+        })
+        .expect_err("the job must fail, not hang");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "rank 2 exploded",
+            "the original panic must propagate, not the secondary aborts"
+        );
+    }
+
+    #[test]
+    fn panicking_rank_mid_collective_sequence_aborts_cleanly() {
+        // The panicker completes one collective first, so peers are
+        // mid-stream with live mailbox state when the poison lands.
+        let err = std::panic::catch_unwind(|| {
+            run_spmd(3, |c| {
+                let mut buf = vec![c.rank() as f64];
+                c.allreduce_sum_f64(&mut buf);
+                if c.rank() == 0 {
+                    panic!("late failure");
+                }
+                c.barrier();
+                let all = c.allgather(vec![c.rank() as u64]);
+                all.len()
+            })
+        })
+        .expect_err("the job must fail, not hang");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "late failure");
     }
 }

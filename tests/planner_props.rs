@@ -13,7 +13,7 @@
 //! exactly the class of bug the unified state enum is meant to prevent.
 
 use geographer::{Config, HierarchySpec};
-use geographer_bench::{solve_plan, PlanRecipe, Tool};
+use geographer_bench::{solve_plan, solve_plan_proc, PlanRecipe, Tool};
 use geographer_graph::evaluate_levels;
 use geographer_mesh::{delaunay_unit_square, families::bubbles_like, Mesh};
 use geographer_planner::RefineMode;
@@ -94,6 +94,37 @@ fn planner_spmd_ranks_agree_with_serial_for_the_stacked_spec() {
             .assignment
             .iter()
             .zip(&spmd.assignment)
+            .filter(|(a, b)| a == b)
+            .count();
+        let agree = same as f64 / mesh.n() as f64;
+        assert!(agree >= 0.995, "p={p}: only {:.2}% agreement with serial", agree * 100.0);
+    }
+}
+
+#[test]
+fn planner_process_ranks_match_thread_ranks_for_the_stacked_spec() {
+    // The full planner stack — hierarchy, multilevel refinement, state
+    // assembly — on forked worker processes. Both backends run identical
+    // collective algorithms with identical reduction trees, so at equal p
+    // the stacked spec must reproduce the thread backend's assignment
+    // bitwise; against serial the usual ≥ 99.5 % policy applies.
+    let mesh = bubbles_like(1_200, 74);
+    let spec = HierarchySpec::uniform(&[2, 2]);
+    let recipe = PlanRecipe::hierarchical("stacked", spec, cfg())
+        .with_refine(RefineMode::Multilevel(MultilevelConfig::default()));
+    let serial = solve_plan(&mesh, &recipe, 1, None).plan;
+    for p in [2, 4] {
+        let threads = solve_plan(&mesh, &recipe, p, None).plan;
+        let procs = solve_plan_proc(&mesh, &recipe, p)
+            .unwrap_or_else(|e| panic!("p={p}: proc job failed: {e}"));
+        assert_eq!(
+            procs.assignment, threads.assignment,
+            "p={p}: process ranks must match thread ranks bitwise"
+        );
+        let same = serial
+            .assignment
+            .iter()
+            .zip(&procs.assignment)
             .filter(|(a, b)| a == b)
             .count();
         let agree = same as f64 / mesh.n() as f64;

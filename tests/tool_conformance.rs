@@ -15,7 +15,7 @@
 //! butterfly collectives' fold/unfold path is exercised by every tool.
 
 use geographer::Config;
-use geographer_bench::{run_tool, solve_plan, PlanRecipe, Tool};
+use geographer_bench::{run_tool, solve_plan, solve_plan_proc, PlanRecipe, Tool};
 use geographer_mesh::{delaunay_unit_square, families::bubbles_like, Mesh};
 
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 7];
@@ -77,6 +77,48 @@ fn conformance(mesh: &Mesh<2>, family: &str) {
     }
 }
 
+/// The process-backend half of the contract: at equal `p`, forked-rank
+/// solves must agree **bitwise** with thread-rank solves for *every* tool
+/// — both backends run the identical collective algorithms with the
+/// identical rank-ordered reduction trees, so even the inexact tools'
+/// floating-point sums come out bit-for-bit equal. Against the p=1
+/// reference the usual policy applies (bitwise for exact tools, ≥ 99.5 %
+/// for the rest).
+fn proc_conformance(mesh: &Mesh<2>, family: &str) {
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    for tool in Tool::ALL {
+        let exact = EXACT_TOOLS.contains(&tool);
+        let recipe = PlanRecipe::flat(tool.name(), tool, K, cfg.clone());
+        let reference = solve_plan(mesh, &recipe, 1, None).plan.assignment;
+        for p in [2usize, 4] {
+            let label = format!("{} on {family} at p={p} (proc)", tool.name());
+            let run = solve_plan_proc(mesh, &recipe, p)
+                .unwrap_or_else(|e| panic!("{label}: job failed: {e}"));
+            assert_eq!(run.assignment.len(), mesh.n(), "{label}: length");
+            let counts = block_sizes(&run.assignment, K, &label);
+            assert!(counts.iter().all(|&c| c > 0), "{label}: empty block, sizes {counts:?}");
+            let threads = solve_plan(mesh, &recipe, p, None).plan.assignment;
+            assert_eq!(
+                run.assignment, threads,
+                "{label}: process ranks must match thread ranks bitwise"
+            );
+            if exact {
+                assert_eq!(run.assignment, reference, "{label}: must be bitwise invariant");
+            } else {
+                let agree = agreement(&run.assignment, &reference);
+                assert!(
+                    agree >= 0.995,
+                    "{label}: only {:.2}% agreement with p=1",
+                    agree * 100.0
+                );
+            }
+            // Real sockets moved real bytes: the counters cannot be empty.
+            assert!(run.comm.rounds() > 0, "{label}: no rounds recorded");
+            assert!(run.comm.bytes() > 0, "{label}: no bytes recorded");
+        }
+    }
+}
+
 #[test]
 fn conformance_on_delaunay() {
     conformance(&delaunay_unit_square(1100, 33), "delaunay");
@@ -85,4 +127,37 @@ fn conformance_on_delaunay() {
 #[test]
 fn conformance_on_a_refined_density_mesh() {
     conformance(&bubbles_like(950, 34), "bubbles-like");
+}
+
+#[test]
+fn proc_backend_conformance_on_delaunay() {
+    proc_conformance(&delaunay_unit_square(1100, 33), "delaunay");
+}
+
+#[test]
+fn proc_backend_conformance_on_a_refined_density_mesh() {
+    proc_conformance(&bubbles_like(950, 34), "bubbles-like");
+}
+
+#[test]
+fn proc_backend_rank_death_fails_cleanly_under_the_full_pipeline() {
+    // Fault injection at the application level: one worker dies mid-solve
+    // (process death, not a panic — its sockets just close). The job must
+    // come back as a clean error well within the CI timeout, never hang.
+    use geographer_parcomm::{run_spmd_proc, Comm};
+    let mesh = delaunay_unit_square(600, 35);
+    let cfg = Config { sampling_init: false, ..Config::default() };
+    let recipe = PlanRecipe::flat("doomed", Tool::Geographer, K, cfg);
+    let err = run_spmd_proc(4, |comm| {
+        if comm.rank() == 3 {
+            // Die after the first collective so peers are mid-stream.
+            comm.barrier();
+            std::process::exit(11);
+        }
+        let spec = recipe.spec(&mesh);
+        geographer_planner::Planner::solve(&spec, None, &comm).assignment
+    })
+    .expect_err("a dead rank must fail the job");
+    let msg = err.to_string();
+    assert!(msg.contains("rank"), "error should name a rank: {msg}");
 }
