@@ -1,0 +1,89 @@
+//! `geo-analyze` — run the workspace invariant analyzer from the CLI.
+//!
+//! ```text
+//! geo-analyze [--root DIR]          check every workspace .rs file (rules D1–D6)
+//! geo-analyze bench-schema [--root DIR]
+//!                                   validate committed BENCH_*.json baselines
+//! geo-analyze --list                print the rule catalog
+//! ```
+//!
+//! Exit status 0 = clean, 1 = violations, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geographer_analyze::{analyze_workspace, rules, schema};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut bench_schema = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "bench-schema" => bench_schema = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for (id, what) in rules::RULES {
+                    println!("{id:24} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: geo-analyze [--root DIR]            analyze workspace sources\n\
+                     \x20      geo-analyze bench-schema [--root DIR]  validate BENCH_*.json\n\
+                     \x20      geo-analyze --list                 print the rule catalog"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if bench_schema {
+        return match schema::check_bench_dir(&root) {
+            Ok(errs) if errs.is_empty() => {
+                println!("bench-schema: all committed BENCH_*.json baselines conform");
+                ExitCode::SUCCESS
+            }
+            Ok(errs) => {
+                for e in &errs {
+                    eprintln!("{e}");
+                }
+                eprintln!("bench-schema: {} problem(s)", errs.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("bench-schema: cannot read {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match analyze_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("geo-analyze: workspace clean (rules D1-D6, zero unwaived violations)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("geo-analyze: {} unwaived violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("geo-analyze: cannot read workspace at {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

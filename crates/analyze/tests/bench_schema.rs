@@ -1,0 +1,16 @@
+//! The committed `BENCH_*.json` baselines must conform to their schemas:
+//! every registered file present and well-formed, every timing object
+//! carrying its normalized `ns_per_point` companion, and no baseline
+//! committed without a schema.
+
+use std::path::Path;
+
+use geographer_analyze::schema::check_bench_dir;
+
+#[test]
+fn committed_bench_baselines_conform_to_their_schemas() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let errors = check_bench_dir(&root).expect("repo root readable");
+    let listing: String = errors.iter().map(|e| format!("  {e}\n")).collect();
+    assert!(errors.is_empty(), "{} bench-schema problem(s):\n{listing}", errors.len());
+}

@@ -1,0 +1,96 @@
+//! The known-bad corpus: one deliberately-violating snippet per rule,
+//! asserting detection at the exact line. Fixtures are analyzed under
+//! *virtual* workspace paths so each lands in its rule's scope (the files
+//! themselves live under `tests/fixtures/`, which `analyze_workspace`
+//! excludes).
+
+use geographer_analyze::analyze_source;
+
+/// Assert the fixture produces exactly `expected` as its (line, rule)
+/// pairs, in order.
+fn check(virtual_path: &str, src: &str, expected: &[(usize, &str)]) {
+    let got: Vec<(usize, &str)> =
+        analyze_source(virtual_path, src).iter().map(|v| (v.line, v.rule)).collect();
+    let want: Vec<(usize, &str)> = expected.to_vec();
+    assert_eq!(got, want, "fixture at {virtual_path}");
+}
+
+#[test]
+fn d1_hash_container_detected_at_exact_line() {
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d1_hash_container.rs"),
+        &[(5, "hash-container")],
+    );
+}
+
+#[test]
+fn d2_unordered_float_reduce_detected_at_exact_line() {
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d2_unordered_float_reduce.rs"),
+        &[(5, "unordered-float-reduce")],
+    );
+}
+
+#[test]
+fn d3_unsafe_without_safety_detected_at_exact_line() {
+    check(
+        "crates/mesh/src/fixture.rs",
+        include_str!("fixtures/d3_unsafe_without_safety.rs"),
+        &[(4, "unsafe-without-safety")],
+    );
+}
+
+#[test]
+fn d4_kernel_entropy_detected_at_exact_line() {
+    // Impersonates a kernel module: D4 is scoped to the hot-path file list.
+    check(
+        "crates/core/src/kmeans.rs",
+        include_str!("fixtures/d4_kernel_entropy.rs"),
+        &[(4, "kernel-entropy")],
+    );
+}
+
+#[test]
+fn d5_panic_in_spmd_detected_at_exact_line() {
+    // Only the line inside the run_spmd call span fires; the assert on
+    // line 8 is outside the span (and assert!-family is allowed anyway).
+    check(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d5_panic_in_spmd.rs"),
+        &[(5, "panic-in-spmd")],
+    );
+}
+
+#[test]
+fn d5_whole_file_scope_in_comm_implementations() {
+    // The same snippet analyzed as a Comm implementation file is checked
+    // on every line, not just call spans.
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.expect(\"set\")\n}\n";
+    check("crates/parcomm/src/checked.rs", src, &[(2, "panic-in-spmd")]);
+}
+
+#[test]
+fn d6_wire_kind_table_detected_at_exact_lines() {
+    // DATA collides with HELLO and is itself never referenced; UNUSED is
+    // never referenced; MISSING is referenced but not declared.
+    check(
+        "crates/parcomm/src/fixture.rs",
+        include_str!("fixtures/d6_wire_kind_table.rs"),
+        &[
+            (5, "wire-kind-table"),
+            (5, "wire-kind-table"),
+            (6, "wire-kind-table"),
+            (10, "wire-kind-table"),
+        ],
+    );
+}
+
+#[test]
+fn fixtures_are_waivable_and_waivers_must_not_go_stale() {
+    let src = "pub fn f() {\n    // geo-analyze: allow(hash-container): membership-only, never iterated.\n    let s = HashSet::new();\n    let _ = s;\n}\n";
+    check("crates/core/src/fixture.rs", src, &[]);
+    let stale = "pub fn f() {\n    // geo-analyze: allow(hash-container): nothing here.\n    let s = 1;\n    let _ = s;\n}\n";
+    check("crates/core/src/fixture.rs", stale, &[(2, "stale-waiver")]);
+}

@@ -1,0 +1,10 @@
+// D1 fixture: an iterated HashMap in solver code (expected: line 5).
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

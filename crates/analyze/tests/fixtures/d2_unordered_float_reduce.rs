@@ -1,0 +1,8 @@
+// D2 fixture: thread-schedule-dependent float reduction (expected: line 5).
+use rayon::prelude::*;
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x * 2.0)
+        .sum()
+}

@@ -1,0 +1,7 @@
+// D3 fixture: unsafe block with no SAFETY comment (expected: line 4).
+
+pub fn truncate(v: &mut Vec<u8>) {
+    unsafe {
+        v.set_len(0);
+    }
+}

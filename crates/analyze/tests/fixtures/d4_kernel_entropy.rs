@@ -1,0 +1,8 @@
+// D4 fixture: wall clock constructed inside a kernel module (expected: line 4).
+
+pub fn assign(points: &[f64]) -> f64 {
+    let t0 = std::time::Instant::now();
+    let s: f64 = points.iter().sum();
+    let _ = t0.elapsed();
+    s
+}

@@ -1,0 +1,9 @@
+// D5 fixture: panic inside an SPMD rank closure (expected: line 5).
+
+pub fn fragile(p: usize) {
+    let results = run_spmd(p, |c| {
+        let first = c.allgather(vec![c.rank()]).pop().unwrap();
+        first.len()
+    });
+    assert_eq!(results.len(), p);
+}

@@ -1,0 +1,11 @@
+// D6 fixture: colliding, unused, and undeclared frame kinds
+// (expected: collision at line 5, unused at lines 5 and 6, undeclared at 10).
+mod kind {
+    pub const HELLO: u8 = 1;
+    pub const DATA: u8 = 1;
+    pub const UNUSED: u8 = 3;
+}
+
+pub fn send_all() -> (u8, u8) {
+    (kind::HELLO, kind::MISSING)
+}

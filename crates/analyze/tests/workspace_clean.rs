@@ -1,0 +1,23 @@
+//! The tier-1 gate: the analyzer's rules hold over the entire workspace.
+//!
+//! Every violation must be either fixed or carry an explicit justified
+//! waiver — this test failing means a determinism/SPMD invariant was
+//! broken (or a waiver went stale) since the last clean run.
+
+use std::path::Path;
+
+use geographer_analyze::analyze_workspace;
+
+#[test]
+fn workspace_has_zero_unwaived_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = analyze_workspace(&root).expect("workspace sources readable");
+    let listing: String =
+        violations.iter().map(|v| format!("  {v}\n")).collect();
+    assert!(
+        violations.is_empty(),
+        "geo-analyze found {} unwaived violation(s):\n{listing}\
+         fix each, or add `// geo-analyze: allow(rule): justification`",
+        violations.len(),
+    );
+}

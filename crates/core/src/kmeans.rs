@@ -669,6 +669,7 @@ impl<const D: usize> Solver<'_, D> {
                     .sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             }
 
+            // geo-analyze: allow(kernel-entropy): this clock IS the assignment-phase measurement; it never influences control flow or output.
             let assign_t0 = std::time::Instant::now();
             if self.cfg.soa_kernel && identity {
                 self.cscratch.fill_sorted::<D>(&self.centers, &self.influence);

@@ -186,6 +186,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let comm_before = phase_snapshot(comm);
 
     // Phase 1: Hilbert indices.
+    // geo-analyze: allow(kernel-entropy): phase timer — the paper's reported timing, never an input to the computation.
     let t0 = Instant::now();
     let bb = global_bbox(comm, points);
     let mapper = HilbertMapper::new(bb, PIPELINE_SFC_BITS);
@@ -208,6 +209,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let comm_after_index = phase_snapshot(comm);
 
     // Phase 2: global sort by key + rebalance to n/p per rank.
+    // geo-analyze: allow(kernel-entropy): phase timer — the paper's reported timing, never an input to the computation.
     let t1 = Instant::now();
     let sorted = sample_sort_by_key(comm, tagged, |t| t.key);
     let sorted = rebalance(comm, sorted);
@@ -215,6 +217,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
     let comm_after_redistribute = phase_snapshot(comm);
 
     // Phase 3: initial centers along the curve, then balanced k-means.
+    // geo-analyze: allow(kernel-entropy): phase timer — the paper's reported timing, never an input to the computation.
     let t2 = Instant::now();
     // One pass over the sorted run fills both exact-size arrays.
     let mut sorted_points: Vec<Point<D>> = Vec::with_capacity(sorted.len());
@@ -230,6 +233,7 @@ pub fn partition_spmd<const D: usize, C: Comm>(
 
     // Phase 4 (untimed in the paper): route assignments back to the
     // original owners so callers see blocks in input order.
+    // geo-analyze: allow(kernel-entropy): phase timer — the paper's reported timing, never an input to the computation.
     let t3 = Instant::now();
     let assignment =
         route_back(comm, &sorted, &out.assignment, id_offset, local_n as usize);

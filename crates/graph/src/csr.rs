@@ -100,6 +100,7 @@ impl CsrGraph {
     /// `0..vertices.len()` in the given order. Also returns nothing else —
     /// callers keep their own id mapping if needed.
     pub fn induced_subgraph(&self, vertices: &[u32]) -> CsrGraph {
+        // geo-analyze: allow(hash-container): lookup-only id map, never iterated — edge order comes from the deterministic `vertices` walk below.
         let mut local_id = std::collections::HashMap::with_capacity(vertices.len());
         for (i, &v) in vertices.iter().enumerate() {
             local_id.insert(v, i as u32);

@@ -134,6 +134,7 @@ impl Triangulator {
 
         // Grow the cavity: all triangles whose circumcircle contains p.
         let mut bad = vec![seed];
+        // geo-analyze: allow(hash-container): membership-only set, never iterated — cavity order comes from the `stack`/`bad` vectors.
         let mut in_cavity = std::collections::HashSet::new();
         in_cavity.insert(seed);
         let mut stack = vec![seed];
@@ -178,9 +179,11 @@ impl Triangulator {
             self.free.push(t);
         }
 
-        // Fan from p to each boundary edge; wire neighbours.
-        let mut edge_to_tri: std::collections::HashMap<(u32, u32), usize> =
-            std::collections::HashMap::with_capacity(boundary.len() * 2);
+        // Fan from p to each boundary edge; wire neighbours. The cavity
+        // boundary is a simple CCW cycle, so each vertex starts exactly
+        // one boundary edge: a sorted (start vertex → fan triangle) table
+        // gives a deterministic, binary-searchable successor lookup.
+        let mut start_to_tri: Vec<(u32, usize)> = Vec::with_capacity(boundary.len());
         let mut created = Vec::with_capacity(boundary.len());
         for &(u, v, outside) in &boundary {
             let t = self.alloc(Tri { v: [pid, u, v], nbr: [outside, -1, -1], alive: true });
@@ -197,21 +200,20 @@ impl Triangulator {
                     }
                 }
             }
-            edge_to_tri.insert((u, v), t);
+            start_to_tri.push((u, t));
             created.push(t);
         }
+        start_to_tri.sort_unstable();
         // Neighbours within the fan: triangle (p,u,v) borders the successor
-        // (p,v,w) along edge (p,v). The cavity boundary is a simple CCW
-        // cycle, so the successor is the unique boundary edge starting at v.
-        // In (p,u,v) the shared edge is opposite u (slot 1); in (p,v,w) it
-        // is opposite w (slot 2).
+        // (p,v,w) along edge (p,v), i.e. the unique boundary edge starting
+        // at v. In (p,u,v) the shared edge is opposite u (slot 1); in
+        // (p,v,w) it is opposite w (slot 2).
         for &t in &created {
             let [_, _u, v] = self.tris[t].v;
-            let succ = *edge_to_tri
-                .iter()
-                .find(|((a, _), _)| *a == v)
-                .map(|(_, val)| val)
+            let at = start_to_tri
+                .binary_search_by_key(&v, |&(start, _)| start)
                 .expect("cavity boundary must be a closed cycle");
+            let succ = start_to_tri[at].1;
             self.tris[t].nbr[1] = succ as i32;
             self.tris[succ].nbr[2] = t as i32;
         }

@@ -27,11 +27,13 @@
 //! figures report modeled time from measured communication volume and
 //! per-rank work).
 
+pub mod checked;
 pub mod proc;
 pub mod stats;
 pub mod thread;
 pub mod wire;
 
+pub use checked::{run_spmd_checked, run_spmd_proc_checked, CheckedCall, CheckedComm, ProtocolError};
 pub use proc::{measure_alpha_beta, run_spmd_proc, MeasuredAlphaBeta, ProcComm, ProcError};
 pub use stats::{Collective, CommStats, OpStats};
 pub use thread::{run_spmd, ThreadComm};
@@ -82,7 +84,9 @@ pub trait Comm {
         F: Fn(T, T) -> T,
     {
         let all = self.allgather(vec![value]);
+        // geo-analyze: allow(panic-in-spmd): infallible — every rank contributed exactly one element just above.
         let mut it = all.into_iter().map(|mut v| v.pop().expect("one element per rank"));
+        // geo-analyze: allow(panic-in-spmd): infallible — a communicator has at least one rank.
         let first = it.next().expect("at least one rank");
         it.fold(first, combine)
     }
@@ -143,11 +147,13 @@ pub trait Comm {
     fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
         debug_assert!(root < self.size());
         let contribution = if self.rank() == root {
+            // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — the root must supply a value; a silent default would broadcast garbage.
             vec![value.expect("root must supply a value")]
         } else {
             Vec::new()
         };
         let mut all = self.allgather(contribution);
+        // geo-analyze: allow(panic-in-spmd): infallible — the root branch above pushed exactly one element.
         all.swap_remove(root).pop().expect("root contribution present")
     }
 }
@@ -240,6 +246,7 @@ impl Comm for SelfComm {
     fn broadcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
         debug_assert_eq!(root, 0);
         self.note(Collective::Broadcast);
+        // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — rank 0 is always the root here and must supply a value.
         value.expect("root must supply a value")
     }
 }

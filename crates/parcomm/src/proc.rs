@@ -122,6 +122,16 @@ pub enum ProcError {
         /// The deadline that was enforced.
         seconds: f64,
     },
+    /// A [`crate::CheckedComm`] lockstep check failed: the ranks diverged
+    /// from the single SPMD call sequence (different collective, element
+    /// count, or root). Carries the typed report instead of the frame
+    /// desync / timeout the divergence would otherwise decay into.
+    Protocol {
+        /// The first rank whose report reached the parent.
+        rank: usize,
+        /// The structured divergence report (identical on every rank).
+        error: crate::checked::ProtocolError,
+    },
 }
 
 impl std::fmt::Display for ProcError {
@@ -133,6 +143,9 @@ impl std::fmt::Display for ProcError {
             }
             ProcError::Timeout { rank, seconds } => {
                 write!(f, "SPMD rank {rank} missed the {seconds}s job deadline and was killed")
+            }
+            ProcError::Protocol { rank, error } => {
+                write!(f, "SPMD rank {rank} reported a protocol violation: {error}")
             }
         }
     }
@@ -152,6 +165,9 @@ mod kind {
     pub const PROBE: u8 = 8;
     pub const RESULT: u8 = 9;
     pub const PANIC: u8 = 10;
+    /// A worker's `CheckedComm` lockstep check failed: the payload is a
+    /// wire-encoded [`crate::checked::ProtocolError`], not a panic string.
+    pub const PROTOCOL: u8 = 11;
 }
 
 /// Length-prefixed framing over a stream: `[magic u32][kind u8][pad ×3]
@@ -185,16 +201,32 @@ mod frame {
         }
     }
 
+    /// Little-endian u32 at byte `off` of a header. Infallible by
+    /// construction: callers pass compile-time offsets inside the
+    /// fixed-size `[u8; HEADER]`.
+    pub fn field_u32(head: &[u8; HEADER], off: usize) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&head[off..off + 4]);
+        u32::from_le_bytes(b)
+    }
+
+    /// Little-endian u64 at byte `off` of a header.
+    pub fn field_u64(head: &[u8; HEADER], off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&head[off..off + 8]);
+        u64::from_le_bytes(b)
+    }
+
     /// Read one frame, requiring `kind` and `seq` to match what the SPMD
     /// call order predicts.
     pub fn read(stream: &UnixStream, kind: u8, seq: u64) -> io::Result<Vec<u8>> {
         let mut r = stream;
         let mut head = [0u8; HEADER];
         r.read_exact(&mut head)?;
-        let magic = u32::from_le_bytes(head[..4].try_into().unwrap());
+        let magic = field_u32(&head, 0);
         let got_kind = head[4];
-        let got_seq = u64::from_le_bytes(head[8..16].try_into().unwrap());
-        let len = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        let got_seq = field_u64(&head, 8);
+        let len = field_u64(&head, 16);
         if magic != MAGIC || got_kind != kind || got_seq != seq || len > MAX_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -287,6 +319,7 @@ impl ProcComm {
     }
 
     fn peer(&self, r: usize) -> &UnixStream {
+        // geo-analyze: allow(panic-in-spmd): infallible — the mesh is full except s == rank, and no collective addresses self.
         self.peers[r].as_ref().unwrap_or_else(|| panic!("rank {} has no stream to {r}", self.rank))
     }
 
@@ -303,6 +336,7 @@ impl ProcComm {
 
     fn send(&self, to: usize, k: u8, seq: u64, payload: &[u8]) {
         frame::write(self.peer(to), k, seq, payload).unwrap_or_else(|e| {
+            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — a wire fault means a peer died; the parent reports a ProcError (DESIGN.md §10).
             panic!("rank {}: send to rank {to} failed (kind {k}, seq {seq}): {e}", self.rank)
         });
     }
@@ -314,6 +348,7 @@ impl ProcComm {
             } else {
                 e.to_string()
             };
+            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — EOF here is the designed dead-peer signal; the parent reports a ProcError (DESIGN.md §10).
             panic!("rank {}: recv from rank {from} failed (kind {k}, seq {seq}): {why}", self.rank)
         })
     }
@@ -346,6 +381,7 @@ impl ProcComm {
             std::thread::scope(|sc| {
                 sc.spawn(move || {
                     frame::write(to_stream, k, seq, payload).unwrap_or_else(|e| {
+                        // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — same dead-peer policy as send() (DESIGN.md §10).
                         panic!("rank {me}: send to rank {to} failed (kind {k}, seq {seq}): {e}")
                     });
                 });
@@ -497,6 +533,7 @@ impl Comm for ProcComm {
         // p−1 transfer steps: the wire really does p−1 serialized rounds
         // where the shared-memory backend deposits once (1 round).
         self.record(Collective::Allgather, (p - 1) as u64, received);
+        // geo-analyze: allow(panic-in-spmd): infallible — the d-loop visits every from-rank exactly once.
         out.into_iter().map(|v| v.expect("ring filled every slot")).collect()
     }
 
@@ -521,6 +558,7 @@ impl Comm for ProcComm {
             out[from] = Some(from_wire::<Vec<T>>(&got));
         }
         self.record(Collective::Alltoallv, (p - 1) as u64, received);
+        // geo-analyze: allow(panic-in-spmd): infallible — the d-loop visits every from-rank exactly once.
         out.into_iter().map(|v| v.expect("ring filled every slot")).collect()
     }
 
@@ -588,10 +626,12 @@ impl Comm for ProcComm {
         debug_assert!(root < self.size);
         if self.size == 1 {
             self.record(Collective::Broadcast, 0, 0);
+            // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — the root must supply a value; a silent default would broadcast garbage.
             return value.expect("root must supply a value");
         }
         let seq = self.next_seq();
         if self.rank == root {
+            // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — the root must supply a value; a silent default would broadcast garbage.
             let v = value.expect("root must supply a value");
             let bytes = to_wire(&v);
             for s in 0..self.size {
@@ -639,6 +679,7 @@ where
 {
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         let comm = ProcComm::connect(&dir, rank, size, job)
+            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — caught by this catch_unwind and reported to the parent as a PANIC frame.
             .unwrap_or_else(|e| panic!("rank {rank}: rendezvous failed: {e}"));
         f(comm)
     }));
@@ -648,15 +689,22 @@ where
             0
         }
         Err(payload) => {
-            let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
-                s
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s
+            // A CheckedComm lockstep report crosses the control socket
+            // typed, not flattened to a panic string.
+            if let Some(pe) = payload.downcast_ref::<crate::checked::ProtocolError>() {
+                let _ = frame::write(&ctrl, kind::PROTOCOL, job, &to_wire(pe));
+                102
             } else {
-                "worker panicked (non-string payload)"
-            };
-            let _ = frame::write(&ctrl, kind::PANIC, job, msg.as_bytes());
-            101
+                let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "worker panicked (non-string payload)"
+                };
+                let _ = frame::write(&ctrl, kind::PANIC, job, msg.as_bytes());
+                101
+            }
         }
     };
     std::process::exit(code)
@@ -693,12 +741,17 @@ where
     let mut pids: Vec<i32> = Vec::with_capacity(p);
     let kill_all = |pids: &[i32]| {
         for &pid in pids {
+            // SAFETY: plain kill(2) on a pid this parent forked and has
+            // not yet reaped; on an already-dead pid it is a harmless
+            // ESRCH. No memory is touched.
             unsafe {
                 sys::kill(pid, sys::SIGKILL);
             }
         }
         for &pid in pids {
             let mut status = 0i32;
+            // SAFETY: waitpid(2) on a child of this process; the status
+            // out-pointer refers to a live i32 on this stack frame.
             unsafe {
                 sys::waitpid(pid, &mut status, 0);
             }
@@ -713,6 +766,11 @@ where
                 return Err(ProcError::Spawn(e));
             }
         };
+        // SAFETY: direct fork(2). The child never returns into the
+        // caller's stack: it drops the inherited parent-side endpoints
+        // and diverges into `child_main`, which ends in process::exit —
+        // so no foreign Drop impls or locks from the parent run in the
+        // child, and the parent side only inspects the returned pid.
         let pid = unsafe { sys::fork() };
         if pid < 0 {
             kill_all(&pids);
@@ -753,7 +811,7 @@ where
         let mut head = [0u8; frame::HEADER];
         let outcome = (&mut (&*ctrl)).read_exact(&mut head).and_then(|()| {
             let k = head[4];
-            let len = u64::from_le_bytes(head[16..24].try_into().unwrap()) as usize;
+            let len = frame::field_u64(&head, 16) as usize;
             let mut payload = vec![0u8; len];
             (&mut (&*ctrl)).read_exact(&mut payload)?;
             Ok((k, payload))
@@ -765,6 +823,9 @@ where
                     rank,
                     detail: String::from_utf8_lossy(&payload).into_owned(),
                 });
+            }
+            Ok((k, payload)) if k == kind::PROTOCOL => {
+                failure.get_or_insert(ProcError::Protocol { rank, error: from_wire(&payload) });
             }
             Ok((k, _)) => {
                 failure.get_or_insert(ProcError::RankFailed {
@@ -796,6 +857,8 @@ where
     } else {
         for (rank, &pid) in pids.iter().enumerate() {
             let mut status = 0i32;
+            // SAFETY: waitpid(2) on a child this parent forked and has
+            // not reaped; the status out-pointer is a live stack i32.
             let r = unsafe { sys::waitpid(pid, &mut status, 0) };
             if r == pid {
                 if let Some(detail) = sys::failure_of(status) {
@@ -810,6 +873,7 @@ where
     }
     Ok(payloads
         .into_iter()
+        // geo-analyze: allow(panic-in-spmd): infallible — reached only when `failure` is None, which requires a RESULT frame from every rank.
         .map(|b| from_wire::<R>(&b.expect("result frame present for every rank")))
         .collect())
 }

@@ -74,6 +74,7 @@ impl Barrier {
     fn check_poison(&self) {
         let p = self.poisoned.load(Ordering::Acquire);
         if p != NOT_POISONED {
+            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — poisoning unparks peers of a dead rank; run_spmd re-propagates the first panic (DESIGN.md §10).
             panic!("SPMD aborted: rank {p} panicked while peers were in a collective");
         }
     }
@@ -157,7 +158,9 @@ impl ThreadComm {
 
     fn peek<T: Clone + 'static, R>(&self, rank: usize, f: impl FnOnce(&T) -> R) -> R {
         let guard = self.core.slots[rank].lock();
+        // geo-analyze: allow(panic-in-spmd): infallible — peek always follows the deposit barrier of the same collective round.
         let boxed = guard.as_ref().expect("peer slot must be filled");
+        // geo-analyze: allow(panic-in-spmd): fail-loud SPMD-contract check — ranks disagreeing on T must not silently reinterpret bytes.
         let value = boxed.downcast_ref::<T>().expect("collective type mismatch");
         f(value)
     }
@@ -318,7 +321,9 @@ impl Comm for ThreadComm {
             let boxed = self.core.mail[s * p + self.rank]
                 .lock()
                 .take()
+                // geo-analyze: allow(panic-in-spmd): infallible — every sender filled its row before the barrier above.
                 .expect("mailbox must be filled");
+            // geo-analyze: allow(panic-in-spmd): fail-loud SPMD-contract check — ranks disagreeing on T must not silently reinterpret bytes.
             let v = *boxed.downcast::<Vec<T>>().expect("collective type mismatch");
             if s != self.rank {
                 received += (v.len() * std::mem::size_of::<T>()) as u64;
@@ -393,12 +398,14 @@ impl Comm for ThreadComm {
         debug_assert!(root < self.core.size);
         if self.core.size == 1 {
             self.record(Collective::Broadcast, 0, 0);
+            // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — the root must supply a value; a silent default would broadcast garbage.
             return value.expect("root must supply a value");
         }
         let received =
             if self.rank == root { 0 } else { std::mem::size_of::<T>() as u64 };
         self.record(Collective::Broadcast, 1, received);
         if self.rank == root {
+            // geo-analyze: allow(panic-in-spmd): fail-loud API-contract check — the root must supply a value; a silent default would broadcast garbage.
             self.deposit(value.expect("root must supply a value"));
         }
         self.barrier();
@@ -412,7 +419,9 @@ impl Comm for ThreadComm {
             Some(v) => v,
             None => {
                 let boxed =
+                    // geo-analyze: allow(panic-in-spmd): infallible — the root deposited before the barrier and only the root takes.
                     self.core.slots[root].lock().take().expect("root slot present");
+                // geo-analyze: allow(panic-in-spmd): infallible — the root reclaims the exact value it deposited.
                 *boxed.downcast::<T>().expect("collective type mismatch")
             }
         }

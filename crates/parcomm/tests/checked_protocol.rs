@@ -1,0 +1,97 @@
+//! Fault injection for [`CheckedComm`]: a rank that issues a mismatched
+//! collective must produce a typed [`ProtocolError`] — not a deadlock on
+//! the thread backend, not a frame desync or job timeout on the process
+//! backend — and conforming programs must pass through unchanged.
+
+use geographer_parcomm::{
+    run_spmd, run_spmd_checked, run_spmd_proc_checked, CheckedCall, Comm, ProcError,
+    ProtocolError,
+};
+
+#[test]
+fn thread_mismatched_collective_is_a_typed_error_not_a_hang() {
+    // Without the checker, rank 0 would wait forever at a barrier its
+    // peers never enter; the poisoned-barrier path would eventually fire
+    // only if another rank panicked. With it, the job fails at call #0.
+    let err = std::panic::catch_unwind(|| {
+        run_spmd_checked(4, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+            } else {
+                let _ = c.allgather(vec![c.rank() as u64]);
+            }
+            0u64
+        })
+    })
+    .expect_err("diverging job must fail");
+    let e = err.downcast_ref::<ProtocolError>().expect("typed ProtocolError payload");
+    assert_eq!(e.seq, 0);
+    assert_eq!(e.diverging, vec![0]);
+    assert_eq!(e.calls[0].0, CheckedCall::Barrier as u64);
+    for r in 1..4 {
+        assert_eq!(e.calls[r].0, CheckedCall::Allgather as u64);
+    }
+}
+
+#[test]
+fn proc_mismatched_collective_reports_protocol_error() {
+    // On the raw process backend this divergence decays into a frame
+    // desync at an unpredictable rank (or a timeout); checked, it must
+    // surface as ProcError::Protocol with the full per-rank call table.
+    let err = run_spmd_proc_checked(3, |c| {
+        if c.rank() == 2 {
+            let _ = c.exscan_sum_u64(1);
+        } else {
+            c.barrier();
+        }
+        0u64
+    })
+    .expect_err("diverging job must fail");
+    match err {
+        ProcError::Protocol { error, .. } => {
+            assert_eq!(error.seq, 0);
+            assert_eq!(error.diverging, vec![2]);
+            assert_eq!(error.calls[2].0, CheckedCall::ExscanSumU64 as u64);
+            assert_eq!(error.calls[0].0, CheckedCall::Barrier as u64);
+        }
+        other => panic!("expected ProcError::Protocol, got: {other}"),
+    }
+}
+
+#[test]
+fn proc_mismatched_reduction_length_reports_protocol_error() {
+    let err = run_spmd_proc_checked(2, |c| {
+        let m = if c.rank() == 1 { 5 } else { 2 };
+        let mut buf = vec![1.0f64; m];
+        c.allreduce_sum_f64(&mut buf);
+        buf.len() as u64
+    })
+    .expect_err("length divergence must fail");
+    match err {
+        ProcError::Protocol { error, .. } => {
+            assert_eq!(error.diverging, vec![1]);
+            assert_eq!(error.calls[0], (CheckedCall::AllreduceSumF64 as u64, 2));
+            assert_eq!(error.calls[1], (CheckedCall::AllreduceSumF64 as u64, 5));
+        }
+        other => panic!("expected ProcError::Protocol, got: {other}"),
+    }
+}
+
+#[test]
+fn checked_results_match_unchecked_across_backends() {
+    // A conforming program: checked wrappers must be observationally
+    // transparent, and thread/process reductions stay bitwise-equal.
+    fn body<C: Comm>(c: C) -> (u64, u64, Vec<f64>) {
+        let mut buf = vec![c.rank() as f64 + 0.25, 2.0, -1.5];
+        c.allreduce_sum_f64(&mut buf);
+        let ex = c.exscan_sum_u64(c.rank() as u64 + 1);
+        let bc = c.broadcast(1, (c.rank() == 1).then_some(42u64));
+        c.barrier();
+        (ex, bc, buf)
+    }
+    let plain = run_spmd(4, body);
+    let threads = run_spmd_checked(4, body);
+    let procs = run_spmd_proc_checked(4, body).expect("clean run");
+    assert_eq!(plain, threads);
+    assert_eq!(threads, procs);
+}

@@ -104,6 +104,7 @@ impl Planner {
 
         // --- Solve phase (the only phase charged to Plan::comm).
         let before = comm.stats();
+        // geo-analyze: allow(kernel-entropy): solve-phase timer — reported in Plan, never an input to the computation.
         let t = Instant::now();
         let mut solve_seconds;
         let mut phase_timings = None;
@@ -162,6 +163,7 @@ impl Planner {
         debug_assert_eq!(assignment.len(), n);
 
         // --- Refinement phase: deterministic, rank-redundant.
+        // geo-analyze: allow(kernel-entropy): refine-phase timer — reported in Plan, never an input to the computation.
         let rt = Instant::now();
         let mut refine = None;
         let mut multilevel = None;
