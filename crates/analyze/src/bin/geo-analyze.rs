@@ -1,9 +1,11 @@
 //! `geo-analyze` — run the workspace invariant analyzer from the CLI.
 //!
 //! ```text
-//! geo-analyze [--root DIR]          check every workspace .rs file (rules D1–D6)
+//! geo-analyze [--root DIR]          check every workspace .rs file (rules D1–D10)
 //! geo-analyze bench-schema [--root DIR]
 //!                                   validate committed BENCH_*.json baselines
+//! geo-analyze protocol [--root DIR] [--format json] [--dot PATH]
+//!                                   summarize per-entry-point collective protocols
 //! geo-analyze --list                print the rule catalog
 //! ```
 //!
@@ -12,19 +14,37 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use geographer_analyze::{analyze_workspace, rules, schema};
+use geographer_analyze::{analyze_workspace, callgraph, protocol, rules, schema};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut bench_schema = false;
+    let mut proto_mode = false;
+    let mut format = String::from("text");
+    let mut dot_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "bench-schema" => bench_schema = true,
+            "protocol" => proto_mode = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
                     eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "json" || f == "text" => format = f,
+                _ => {
+                    eprintln!("--format needs `json` or `text`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dot" => match args.next() {
+                Some(p) => dot_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--dot needs an output path");
                     return ExitCode::from(2);
                 }
             },
@@ -38,6 +58,8 @@ fn main() -> ExitCode {
                 println!(
                     "usage: geo-analyze [--root DIR]            analyze workspace sources\n\
                      \x20      geo-analyze bench-schema [--root DIR]  validate BENCH_*.json\n\
+                     \x20      geo-analyze protocol [--root DIR] [--format json] [--dot PATH]\n\
+                     \x20                                         summarize entry-point protocols\n\
                      \x20      geo-analyze --list                 print the rule catalog"
                 );
                 return ExitCode::SUCCESS;
@@ -49,8 +71,48 @@ fn main() -> ExitCode {
         }
     }
 
+    if proto_mode {
+        let ws = match callgraph::Workspace::load(&root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("protocol: cannot read workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = protocol::entry_summaries(&ws);
+        if entries.is_empty() {
+            eprintln!("protocol: no entry points found under {}", root.display());
+            return ExitCode::FAILURE;
+        }
+        if let Some(p) = &dot_path {
+            let ids: Vec<_> = entries.iter().map(|e| e.id).collect();
+            if let Err(e) = std::fs::write(p, ws.dot(&ids)) {
+                eprintln!("protocol: cannot write {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+        if format == "json" {
+            print!("{}", protocol::summaries_json(&entries));
+        } else {
+            for e in &entries {
+                println!("{}", e.name);
+                println!("  protocol:   {}", protocol::key(&e.proto));
+                if e.unresolved.is_empty() {
+                    println!("  unresolved: (none)");
+                } else {
+                    println!("  unresolved: {}", e.unresolved.join(", "));
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if bench_schema {
-        return match schema::check_bench_dir(&root) {
+        let docs = schema::check_bench_docs(&root);
+        return match schema::check_bench_dir(&root).and_then(|mut errs| {
+            errs.extend(docs?);
+            Ok(errs)
+        }) {
             Ok(errs) if errs.is_empty() => {
                 println!("bench-schema: all committed BENCH_*.json baselines conform");
                 ExitCode::SUCCESS
@@ -71,7 +133,7 @@ fn main() -> ExitCode {
 
     match analyze_workspace(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("geo-analyze: workspace clean (rules D1-D6, zero unwaived violations)");
+            println!("geo-analyze: workspace clean (rules D1-D10, zero unwaived violations)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {

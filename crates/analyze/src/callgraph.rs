@@ -1,0 +1,498 @@
+//! The workspace call graph: every parsed fn, with calls resolved by name
+//! within the crate and via `use` imports across crates — plus honest
+//! "unresolved" edges for everything name resolution cannot place
+//! (std/vendor methods, trait-object dispatch, macro-generated code).
+//!
+//! `crates/parcomm` is deliberately *excluded* from the graph: collective
+//! internals are rank-dependent by design (that is what a collective
+//! *is*), and the protocol rules treat the `Comm` collective names as
+//! terminal symbols rather than resolving into their implementations.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::parse::{self, CallSite, FnItem, Node, ParsedFile};
+use crate::scan;
+use crate::taint::COLLECTIVES;
+
+/// One parsed workspace file.
+#[derive(Debug, Clone)]
+pub struct WsFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The owning crate's package name (from its `Cargo.toml`).
+    pub crate_name: String,
+    pub parsed: ParsedFile,
+}
+
+/// A fn's identity: (file index, index into that file's `fns`).
+pub type FnId = (usize, usize);
+
+/// What one call site resolves to.
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// A `Comm` collective: a terminal protocol kind.
+    Collective(String),
+    /// Workspace fn candidates (method calls may have several).
+    Fns(Vec<FnId>),
+    /// Not placeable in the workspace (std/vendor/macro): honest edge.
+    Unresolved(String),
+}
+
+/// The parsed workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    pub files: Vec<WsFile>,
+    /// Package name → the crate it names, for cross-crate `use` paths.
+    crate_names: BTreeMap<String, String>,
+}
+
+impl Workspace {
+    /// Parse every `crates/*/src` file under `root` (excluding `parcomm`
+    /// — see module docs). Files that fail to parse are skipped (the
+    /// tolerance sweep test pins that none do).
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut ws = Workspace::default();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let dir_name = dir.file_name().map(|n| n.to_string_lossy().to_string());
+            let Some(dir_name) = dir_name else { continue };
+            if dir_name == "parcomm" {
+                continue;
+            }
+            let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
+            let crate_name = manifest
+                .lines()
+                .find_map(|l| {
+                    let l = l.trim();
+                    l.strip_prefix("name")
+                        .map(|r| r.trim_start().trim_start_matches('=').trim())
+                        .map(|r| r.trim_matches('"').to_string())
+                })
+                .unwrap_or_else(|| dir_name.clone());
+            ws.crate_names.insert(crate_name.clone(), dir_name.clone());
+            let mut files = Vec::new();
+            collect_rs(&dir.join("src"), &mut files)?;
+            files.sort();
+            for f in &files {
+                let rel: String = f
+                    .strip_prefix(root)
+                    .unwrap_or(f)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let text = std::fs::read_to_string(f)?;
+                let lines = scan::scan(&text);
+                let Ok(parsed) = parse::parse_file(&lines) else { continue };
+                ws.files.push(WsFile { path: rel, crate_name: crate_name.clone(), parsed });
+            }
+        }
+        Ok(ws)
+    }
+
+    /// A one-file workspace (fixtures and the per-file D8 rule): calls
+    /// into other files stay unresolved there, by design.
+    pub fn from_single(path: &str, parsed: ParsedFile) -> Workspace {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("local")
+            .to_string();
+        Workspace {
+            files: vec![WsFile { path: path.to_string(), crate_name, parsed }],
+            crate_names: BTreeMap::new(),
+        }
+    }
+
+    /// Locate a fn by crate package name, optional impl qual, and name.
+    pub fn find_fn(&self, crate_name: &str, qual: Option<&str>, name: &str) -> Option<FnId> {
+        for (fi, file) in self.files.iter().enumerate() {
+            if file.crate_name != crate_name {
+                continue;
+            }
+            for (gi, f) in file.parsed.fns.iter().enumerate() {
+                if f.name == name && f.qual.as_deref() == qual && !f.is_test {
+                    return Some((fi, gi));
+                }
+            }
+        }
+        None
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &FnItem {
+        &self.files[id.0].parsed.fns[id.1]
+    }
+
+    /// Display label for a fn: `crate::Qual::name` / `crate::name`.
+    pub fn fn_label(&self, id: FnId) -> String {
+        let file = &self.files[id.0];
+        let f = &file.parsed.fns[id.1];
+        match &f.qual {
+            Some(q) => format!("{}::{}::{}", file.crate_name, q, f.name),
+            None => format!("{}::{}", file.crate_name, f.name),
+        }
+    }
+
+    /// Resolve one call site from inside fn `(file, caller)`.
+    pub fn resolve(&self, file: usize, caller: &FnItem, call: &CallSite) -> Resolution {
+        if call.is_method && COLLECTIVES.contains(&call.name.as_str()) {
+            return Resolution::Collective(call.name.clone());
+        }
+        if call.is_macro {
+            return Resolution::Unresolved(format!("{}!", call.name));
+        }
+        if call.is_method {
+            // Any impl/trait-default method with this name, anywhere: a
+            // sound over-approximation (the protocol check Alt-joins all
+            // candidates).
+            let cands = self.fns_named(&call.name, true);
+            return if cands.is_empty() {
+                Resolution::Unresolved(format!(".{}", call.name))
+            } else {
+                Resolution::Fns(cands)
+            };
+        }
+        let this_crate = &self.files[file].crate_name;
+        if let Some(head) = call.qual.first() {
+            // `Self::f` → the enclosing impl's methods.
+            let last = call.qual.last().map(String::as_str).unwrap_or(head);
+            let qual_ty = if last == "Self" { caller.qual.as_deref() } else { Some(last) };
+            if matches!(head.as_str(), "crate" | "self" | "super") {
+                let cands = self.fns_in_crate(this_crate, &call.name, None);
+                return self.fns_or_unresolved(cands, call);
+            }
+            if self.crate_names.contains_key(head) && head != this_crate {
+                let cands = self.fns_in_crate(head, &call.name, None);
+                return self.fns_or_unresolved(cands, call);
+            }
+            // Type-qualified (`Planner::solve`, `Vec::new`): associated
+            // fns by (type, name), in this crate first, then anywhere.
+            if let Some(ty) = qual_ty {
+                if ty.chars().next().is_some_and(char::is_uppercase) {
+                    let mut cands = self.fns_in_crate(this_crate, &call.name, Some(ty));
+                    if cands.is_empty() {
+                        cands = self
+                            .fns_named(&call.name, true)
+                            .into_iter()
+                            .filter(|id| self.fn_item(*id).qual.as_deref() == Some(ty))
+                            .collect();
+                    }
+                    return self.fns_or_unresolved(cands, call);
+                }
+            }
+            // Module-qualified (`m::f`): by name within this crate.
+            let cands = self.fns_in_crate(this_crate, &call.name, None);
+            return self.fns_or_unresolved(cands, call);
+        }
+        // Bare call: same file → same crate → use-imported crate →
+        // workspace-unique.
+        let same_file: Vec<FnId> = self.files[file]
+            .parsed
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == call.name && f.qual.is_none() && !f.is_test)
+            .map(|(gi, _)| (file, gi))
+            .collect();
+        if !same_file.is_empty() {
+            return Resolution::Fns(same_file);
+        }
+        let same_crate = self.fns_in_crate(this_crate, &call.name, None);
+        if !same_crate.is_empty() {
+            return Resolution::Fns(same_crate);
+        }
+        for u in &self.files[file].parsed.uses {
+            if (u.name == call.name || u.name == "*") && self.crate_names.contains_key(&u.root) {
+                let cands = self.fns_in_crate(&u.root, &call.name, None);
+                if !cands.is_empty() {
+                    return Resolution::Fns(cands);
+                }
+            }
+        }
+        let anywhere: Vec<FnId> = self
+            .fns_named(&call.name, false)
+            .into_iter()
+            .filter(|id| self.fn_item(*id).qual.is_none())
+            .collect();
+        if anywhere.len() == 1 {
+            return Resolution::Fns(anywhere);
+        }
+        Resolution::Unresolved(call.name.clone())
+    }
+
+    fn fns_or_unresolved(&self, cands: Vec<FnId>, call: &CallSite) -> Resolution {
+        if cands.is_empty() {
+            let q = call.qual.join("::");
+            Resolution::Unresolved(if q.is_empty() {
+                call.name.clone()
+            } else {
+                format!("{q}::{}", call.name)
+            })
+        } else {
+            Resolution::Fns(cands)
+        }
+    }
+
+    /// Non-test fns named `name`; `methods_only` keeps impl/trait members.
+    fn fns_named(&self, name: &str, methods_only: bool) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for (gi, f) in file.parsed.fns.iter().enumerate() {
+                if f.name == name && !f.is_test && (!methods_only || f.qual.is_some()) {
+                    out.push((fi, gi));
+                }
+            }
+        }
+        out
+    }
+
+    fn fns_in_crate(&self, crate_name: &str, name: &str, qual: Option<&str>) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            if file.crate_name != crate_name {
+                continue;
+            }
+            for (gi, f) in file.parsed.fns.iter().enumerate() {
+                if f.name != name || f.is_test {
+                    continue;
+                }
+                match qual {
+                    Some(q) => {
+                        if f.qual.as_deref() == Some(q) {
+                            out.push((fi, gi));
+                        }
+                    }
+                    None => {
+                        if f.qual.is_none() {
+                            out.push((fi, gi));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All call sites in a fn body, in token order.
+    pub fn calls_of(&self, id: FnId) -> Vec<&CallSite> {
+        let mut out = Vec::new();
+        collect_calls(&self.fn_item(id).body, &mut out);
+        out
+    }
+
+    /// The fns that can (transitively, under this graph's conservative
+    /// name resolution) issue a collective. Calls to anything outside
+    /// this set are protocol-irrelevant: they cannot contribute a
+    /// collective kind, so a summary may treat them as empty instead of
+    /// widening to every same-name method in the workspace.
+    pub fn collective_reachers(&self) -> BTreeSet<FnId> {
+        let mut reach: BTreeSet<FnId> = BTreeSet::new();
+        let mut callees_of: Vec<(FnId, Vec<FnId>)> = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for (gi, f) in file.parsed.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = (fi, gi);
+                let mut callees = Vec::new();
+                for call in self.calls_of(id) {
+                    match self.resolve(fi, f, call) {
+                        Resolution::Collective(_) => {
+                            reach.insert(id);
+                        }
+                        Resolution::Fns(c) => callees.extend(c),
+                        Resolution::Unresolved(_) => {}
+                    }
+                }
+                callees_of.push((id, callees));
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (id, callees) in &callees_of {
+                if !reach.contains(id) && callees.iter().any(|c| reach.contains(c)) {
+                    reach.insert(*id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return reach;
+            }
+        }
+    }
+
+    /// Emit a DOT call graph of the protocol-relevant subgraph reachable
+    /// from `entries`: resolved edges restricted to collective-reaching
+    /// fns, collective terminals as boxes, and each fn's unresolved calls
+    /// aggregated into one dashed edge (per-name lists live in the JSON
+    /// summary).
+    pub fn dot(&self, entries: &[FnId]) -> String {
+        let reach = self.collective_reachers();
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut stack: Vec<FnId> = entries.to_vec();
+        let mut edges: BTreeSet<(String, String, &'static str)> = BTreeSet::new();
+        let mut labels: BTreeMap<String, String> = BTreeMap::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let from = self.fn_label(id);
+            let caller = self.fn_item(id);
+            let mut unresolved = 0usize;
+            for call in self.calls_of(id) {
+                match self.resolve(id.0, caller, call) {
+                    Resolution::Collective(k) => {
+                        edges.insert((from.clone(), format!("Comm::{k}"), "collective"));
+                    }
+                    Resolution::Fns(cands) => {
+                        for c in cands.into_iter().filter(|c| reach.contains(c)) {
+                            edges.insert((from.clone(), self.fn_label(c), "resolved"));
+                            stack.push(c);
+                        }
+                    }
+                    Resolution::Unresolved(_) => unresolved += 1,
+                }
+            }
+            if unresolved > 0 {
+                let node = format!("unresolved:{from}");
+                labels.insert(node.clone(), format!("? {unresolved} unresolved"));
+                edges.insert((from, node, "unresolved"));
+            }
+        }
+        let mut out = String::from("digraph protocol {\n  rankdir=LR;\n  node [fontsize=10];\n");
+        let mut nodes: BTreeSet<(String, &'static str)> = BTreeSet::new();
+        for (a, b, kind) in &edges {
+            nodes.insert((a.clone(), "fn"));
+            nodes.insert((
+                b.clone(),
+                match *kind {
+                    "collective" => "collective",
+                    "unresolved" => "unresolved",
+                    _ => "fn",
+                },
+            ));
+        }
+        for (n, kind) in &nodes {
+            let label = labels.get(n).map(|l| format!(", label=\"{l}\"")).unwrap_or_default();
+            let attrs = match *kind {
+                "collective" => format!(" [shape=box, style=filled, fillcolor=lightblue{label}]"),
+                "unresolved" => format!(" [shape=ellipse, style=dotted{label}]"),
+                _ => format!(" [shape=ellipse{label}]"),
+            };
+            out.push_str(&format!("  \"{n}\"{attrs};\n"));
+        }
+        for (a, b, kind) in &edges {
+            let style = if *kind == "unresolved" { " [style=dashed]" } else { "" };
+            out.push_str(&format!("  \"{a}\" -> \"{b}\"{style};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Walk a body, collecting call sites in token order.
+pub fn collect_calls<'n>(nodes: &'n [Node], out: &mut Vec<&'n CallSite>) {
+    for n in nodes {
+        match n {
+            Node::Seg(s) => out.extend(s.calls.iter()),
+            Node::Block(b) => collect_calls(b, out),
+            Node::Let { init, else_b, .. } => {
+                collect_calls(init, out);
+                collect_calls(else_b, out);
+            }
+            Node::If { cond, then_b, else_b, .. } => {
+                collect_calls(cond, out);
+                collect_calls(then_b, out);
+                collect_calls(else_b, out);
+            }
+            Node::Loop { cond, body, .. } => {
+                collect_calls(cond, out);
+                collect_calls(body, out);
+            }
+            Node::Match { scrutinee, arms, .. } => {
+                collect_calls(scrutinee, out);
+                for a in arms {
+                    collect_calls(&a.guard, out);
+                    collect_calls(&a.body, out);
+                }
+            }
+            Node::Exit { value, .. } => collect_calls(value, out),
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn single(src: &str) -> Workspace {
+        let parsed = parse::parse_file(&scan(src)).expect("parse");
+        Workspace::from_single("crates/core/src/x.rs", parsed)
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_and_collectives_are_terminal() {
+        let ws = single(
+            "fn helper<C: Comm>(comm: &C) { comm.barrier(); }\n\
+             pub fn entry<C: Comm>(comm: &C) { helper(comm); comm.allgather(vec![1u64]); }\n",
+        );
+        let entry = ws.find_fn("core", None, "entry").expect("entry");
+        let caller = ws.fn_item(entry);
+        let calls = ws.calls_of(entry);
+        let r0 = ws.resolve(entry.0, caller, calls[0]);
+        assert!(matches!(&r0, Resolution::Fns(c) if c.len() == 1), "{r0:?}");
+        let r1 = ws.resolve(entry.0, caller, calls[1]);
+        assert!(matches!(&r1, Resolution::Collective(k) if k == "allgather"), "{r1:?}");
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_impl() {
+        let ws = single(
+            "pub struct Planner;\nimpl Planner {\n    pub fn try_solve(&self) -> u8 { 1 }\n    \
+             pub fn solve(&self) -> u8 { Self::try_solve(self) }\n}\n",
+        );
+        let solve = ws.find_fn("core", Some("Planner"), "solve").expect("solve");
+        let caller = ws.fn_item(solve);
+        let calls = ws.calls_of(solve);
+        let r = ws.resolve(solve.0, caller, calls[0]);
+        assert!(
+            matches!(&r, Resolution::Fns(c) if c.len() == 1 && ws.fn_label(c[0]).ends_with("Planner::try_solve")),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_calls_are_honestly_unresolved_and_dot_renders() {
+        let ws = single("pub fn entry(v: &[u64]) -> u64 { mystery(v) }\n");
+        let entry = ws.find_fn("core", None, "entry").expect("entry");
+        let r = ws.resolve(entry.0, ws.fn_item(entry), ws.calls_of(entry)[0]);
+        assert!(matches!(&r, Resolution::Unresolved(n) if n == "mystery"), "{r:?}");
+        let dot = ws.dot(&[entry]);
+        assert!(dot.contains("digraph") && dot.contains("style=dashed"), "{dot}");
+    }
+}

@@ -24,10 +24,14 @@
 //! waivers that no longer suppress anything are flagged (`stale-waiver`)
 //! so the escape hatches cannot rot in place.
 
+pub mod callgraph;
 pub mod json;
+pub mod parse;
+pub mod protocol;
 pub mod rules;
 pub mod scan;
 pub mod schema;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
@@ -85,6 +89,10 @@ fn parse_waivers(path: &str, lines: &[scan::Line]) -> (Vec<Waiver>, Vec<Violatio
         }
         let Some(at) = line.comment.find(WAIVER_MARK) else { continue };
         let rest = line.comment[at + WAIVER_MARK.len()..].trim_start();
+        // `geo-analyze: hot-loop` is the D10 opt-in marker, not a waiver.
+        if rest.starts_with("hot-loop") {
+            continue;
+        }
         let mut fail = |why: &str| {
             bad.push(Violation::new(path, i + 1, "invalid-waiver", why.to_string()));
         };
@@ -134,9 +142,20 @@ fn parse_waivers(path: &str, lines: &[scan::Line]) -> (Vec<Waiver>, Vec<Violatio
 /// separators; rule scoping keys off it, so fixtures can impersonate any
 /// location by passing a virtual path.
 pub fn analyze_source(path: &str, text: &str) -> Vec<Violation> {
+    analyze_source_opts(path, text, false)
+}
+
+/// [`analyze_source`] with an override: `force_test` treats the whole
+/// file as test code (used for out-of-line `#[cfg(test)] mod name;`
+/// module files, whose test-ness lives in the *declaring* file).
+pub fn analyze_source_opts(path: &str, text: &str, force_test: bool) -> Vec<Violation> {
     let lines = scan::scan(text);
-    let is_tests_file = path.contains("/tests/") || path.contains("/benches/");
-    let raw = rules::apply_rules(path, &lines, is_tests_file);
+    let is_tests_file =
+        force_test || path.contains("/tests/") || path.contains("/benches/");
+    // One parse feeds D5 scoping and the D7–D10 dataflow rules; a file
+    // outside the supported subset degrades to the lexical rules only.
+    let parsed = parse::parse_file(&lines).ok();
+    let raw = rules::apply_rules(path, &lines, is_tests_file, parsed.as_ref());
     let (mut waivers, mut out) = parse_waivers(path, &lines);
     for v in raw {
         match waivers.iter_mut().find(|w| w.rule == v.rule && w.target_line == v.line) {
@@ -186,7 +205,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     collect_rs(&root.join("crates"), &mut files)?;
     collect_rs(&root.join("vendor"), &mut files)?;
     files.sort();
-    let mut out = Vec::new();
+    let mut texts: Vec<(String, String)> = Vec::new();
     for f in &files {
         let rel: String = f
             .strip_prefix(root)
@@ -198,10 +217,37 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         if rel.starts_with("crates/analyze/tests/fixtures/") {
             continue;
         }
-        let text = std::fs::read_to_string(f)?;
-        out.extend(analyze_source(&rel, &text));
+        texts.push((rel, std::fs::read_to_string(f)?));
+    }
+    // Phase 1: find files that are out-of-line `#[cfg(test)] mod name;`
+    // modules — their test-ness is declared in the *parent* file, so a
+    // single-file pass would misread them as production code.
+    let mut test_files: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (rel, text) in &texts {
+        let lines = scan::scan(text);
+        for name in scan::out_of_line_test_mods(&lines) {
+            let dir = module_dir(rel);
+            test_files.insert(format!("{dir}/{name}.rs"));
+            test_files.insert(format!("{dir}/{name}/mod.rs"));
+        }
+    }
+    // Phase 2: analyze, forcing test scope where phase 1 says so.
+    let mut out = Vec::new();
+    for (rel, text) in &texts {
+        out.extend(analyze_source_opts(rel, text, test_files.contains(rel)));
     }
     Ok(out)
+}
+
+/// The directory a file's child modules live in: `…/lib.rs`, `…/main.rs`,
+/// and `…/mod.rs` own their containing directory; `…/foo.rs` owns `…/foo`.
+fn module_dir(rel: &str) -> String {
+    let (dir, file) = rel.rsplit_once('/').unwrap_or(("", rel));
+    if matches!(file, "lib.rs" | "main.rs" | "mod.rs") {
+        dir.to_string()
+    } else {
+        format!("{dir}/{}", file.trim_end_matches(".rs"))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1690 @@
+//! A token/expression layer on top of the [`crate::scan`] lexer: a small
+//! hand-rolled Rust parser subset, good enough for fn items, method calls,
+//! `if`/`match`/`while`/`for` heads, and `let` bindings — the shapes the
+//! dataflow rules (D7–D10, see [`crate::taint`] and [`crate::protocol`])
+//! need. It is deliberately tolerant: unknown constructs are consumed into
+//! flat expression segments rather than rejected, macro bodies and closure
+//! bodies are flattened (calls inside them are still extracted, their
+//! control flow is not modeled), and parsing never panics — malformed
+//! input yields `Err(ParseErr)`, which callers treat as "fall back to the
+//! lexer-level view".
+
+use std::ops::Range;
+
+use crate::scan::Line;
+
+/// Token classes. String/char contents arrive already blanked by the
+/// scanner, so `Str` is always `""` (or a lone `"`) and `Char` is `''`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Num,
+    Str,
+    Char,
+    Punct,
+}
+
+/// One token, with its 1-based line and byte column in the blanked code.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Tok {
+    fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    fn is_kw(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// A parse failure: the line it was detected on and why. Callers fall back
+/// to lexer-level analysis; the tolerance sweep test asserts this never
+/// happens on workspace sources.
+#[derive(Debug, Clone)]
+pub struct ParseErr {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// One parsed source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnItem>,
+    pub impls: Vec<ImplBlock>,
+    pub uses: Vec<UseImport>,
+}
+
+/// A fn item with a parsed body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing impl self-type or trait name, if any.
+    pub qual: Option<String>,
+    /// Binding identifiers of the parameters (pattern side only).
+    pub params: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    pub body: Vec<Node>,
+    /// Inside `#[cfg(test)]` / carries a `#[test]`-ish attribute.
+    pub is_test: bool,
+}
+
+/// An `impl` block or `trait` declaration (trait decls carry default
+/// method bodies, which matter for call resolution).
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// `impl Trait for Type` → the trait path's last segment.
+    pub trait_name: Option<String>,
+    /// The self type's last path segment (or the trait name for decls).
+    pub self_ty: String,
+    pub start_line: usize,
+    pub end_line: usize,
+    pub is_trait_decl: bool,
+}
+
+/// One `use` leaf: `name` (or alias, or `*`) importable in this file,
+/// rooted at path segment `root` (`crate`, `std`, a crate name, …).
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    pub name: String,
+    pub root: String,
+}
+
+/// Statement/expression tree. Segments are flat token runs with their
+/// call sites pre-extracted; control shapes get dedicated nodes so the
+/// dataflow passes can reason about branches and loops.
+#[derive(Debug, Clone)]
+pub enum Node {
+    Seg(Segment),
+    Let {
+        binds: Vec<String>,
+        /// `Some(n)` when the pattern is a top-level n-tuple.
+        arity: Option<usize>,
+        init: Vec<Node>,
+        /// let-else diverging block.
+        else_b: Vec<Node>,
+        line: usize,
+    },
+    If {
+        uid: u32,
+        cond: Vec<Node>,
+        /// if-let pattern bindings.
+        binds: Vec<String>,
+        then_b: Vec<Node>,
+        else_b: Vec<Node>,
+        line: usize,
+    },
+    Loop {
+        uid: u32,
+        kind: LoopKind,
+        /// Condition (while) or iterated expression (for); empty for `loop`.
+        cond: Vec<Node>,
+        /// while-let / for pattern bindings.
+        binds: Vec<String>,
+        body: Vec<Node>,
+        line: usize,
+    },
+    Match {
+        uid: u32,
+        scrutinee: Vec<Node>,
+        arms: Vec<Arm>,
+        line: usize,
+    },
+    Block(Vec<Node>),
+    Exit {
+        kind: ExitKind,
+        value: Vec<Node>,
+        line: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    While,
+    For,
+    Loop,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    Return,
+    Break,
+    Continue,
+}
+
+/// A flat expression run: token range plus the call sites inside it.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    pub toks: Range<usize>,
+    pub calls: Vec<CallSite>,
+    pub line: usize,
+}
+
+/// One match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub binds: Vec<String>,
+    pub guard: Vec<Node>,
+    pub body: Vec<Node>,
+    pub line: usize,
+}
+
+/// One call site: `name(args…)`, `recv.name(args…)`, `qual::name(args…)`,
+/// or `name!(args…)`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    /// Leading path segments for plain calls (`Vec::new` → `["Vec"]`).
+    pub qual: Vec<String>,
+    pub is_method: bool,
+    pub is_macro: bool,
+    pub line: usize,
+    pub col: usize,
+    /// Index of the name token (lets callers relate a call to its
+    /// surrounding tokens, e.g. the receiver at `tok - 2`).
+    pub tok: usize,
+    /// Top-level argument token ranges (macros also split at `;`, so
+    /// `vec![v; n]` yields two).
+    pub args: Vec<Range<usize>>,
+}
+
+/// Rust keywords: never call names, never pattern binders.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+const PUNCT3: &[&str] = &["..=", "<<=", ">>="];
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>", "..",
+];
+
+/// Tokenize scanned lines (code side only; comments never reach here).
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (li, line) in lines.iter().enumerate() {
+        let code = line.code.as_bytes();
+        let mut i = 0usize;
+        while i < code.len() {
+            let b = code[i];
+            if !b.is_ascii() || b.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            let c = b as char;
+            let start = i;
+            let (kind, end) = if c.is_ascii_alphabetic() || c == '_' {
+                let mut j = i + 1;
+                while j < code.len() && (code[j].is_ascii_alphanumeric() || code[j] == b'_') {
+                    j += 1;
+                }
+                (TokKind::Ident, j)
+            } else if c.is_ascii_digit() {
+                let mut j = i + 1;
+                while j < code.len() {
+                    let d = code[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.' && code.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                (TokKind::Num, j)
+            } else if c == '"' {
+                // Scanner-blanked string: `""`, or a lone `"` when the
+                // literal spans lines.
+                let j = if code.get(i + 1) == Some(&b'"') { i + 2 } else { i + 1 };
+                (TokKind::Str, j)
+            } else if c == '\'' {
+                match code.get(i + 1) {
+                    Some(&b'\'') => (TokKind::Char, i + 2),
+                    Some(&n) if n.is_ascii_alphanumeric() || n == b'_' => {
+                        let mut j = i + 2;
+                        while j < code.len() && (code[j].is_ascii_alphanumeric() || code[j] == b'_')
+                        {
+                            j += 1;
+                        }
+                        (TokKind::Lifetime, j)
+                    }
+                    _ => (TokKind::Char, i + 1),
+                }
+            } else {
+                let rest = &line.code[i..];
+                let n = if PUNCT3.iter().any(|p| rest.starts_with(p)) {
+                    3
+                } else if PUNCT2.iter().any(|p| rest.starts_with(p)) {
+                    2
+                } else {
+                    1
+                };
+                (TokKind::Punct, i + n)
+            };
+            toks.push(Tok { kind, text: line.code[start..end].to_string(), line: li + 1, col: start });
+            i = end;
+        }
+    }
+    toks
+}
+
+/// Parse a scanned file into items and statement trees.
+pub fn parse_file(lines: &[Line]) -> Result<ParsedFile, ParseErr> {
+    let toks = tokenize(lines);
+    let mut p = Parser {
+        toks: &toks,
+        lines,
+        pos: 0,
+        uid: 0,
+        pending_test: false,
+        fns: Vec::new(),
+        impls: Vec::new(),
+        uses: Vec::new(),
+    };
+    p.items(None)?;
+    if p.pos < toks.len() {
+        return Err(p.err("trailing tokens after top-level items"));
+    }
+    Ok(ParsedFile { fns: p.fns, impls: p.impls, uses: p.uses, toks })
+}
+
+/// Terminator set for one [`Parser::expr_seq`] invocation. `}` and
+/// unbalanced `)`/`]` always stop the sequence.
+#[derive(Clone, Copy, Default)]
+struct Term {
+    semi: bool,
+    comma: bool,
+    fat_arrow: bool,
+    else_kw: bool,
+    /// NoStruct position (cond/scrutinee/iter): `{` at depth 0 stops.
+    brace_opens: bool,
+}
+
+impl Term {
+    fn stmt() -> Self {
+        Term { semi: true, ..Term::default() }
+    }
+    fn let_init() -> Self {
+        Term { semi: true, else_kw: true, ..Term::default() }
+    }
+    fn cond() -> Self {
+        Term { semi: true, brace_opens: true, ..Term::default() }
+    }
+    fn guard() -> Self {
+        Term { semi: true, fat_arrow: true, ..Term::default() }
+    }
+    fn arm() -> Self {
+        Term { semi: true, comma: true, ..Term::default() }
+    }
+    fn exit() -> Self {
+        Term { semi: true, comma: true, ..Term::default() }
+    }
+}
+
+/// How a pattern ends.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PatEnd {
+    /// `let`/`if let`/`while let`: at `=`.
+    Eq,
+    /// `for`: at the `in` keyword.
+    In,
+    /// match arm: at `=>` or a guard `if`.
+    Arm,
+}
+
+/// A parsed pattern: its binding idents and tuple arity (if top-level
+/// tuple).
+struct Pat {
+    binds: Vec<String>,
+    arity: Option<usize>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    lines: &'a [Line],
+    pos: usize,
+    uid: u32,
+    /// A just-skipped attribute mentioned `test`.
+    pending_test: bool,
+    fns: Vec<FnItem>,
+    impls: Vec<ImplBlock>,
+    uses: Vec<UseImport>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+    fn at(&self, k: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + k)
+    }
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+    fn cur_line(&self) -> usize {
+        self.peek().map_or_else(|| self.lines.len(), |t| t.line)
+    }
+    fn err(&self, msg: &str) -> ParseErr {
+        ParseErr { line: self.cur_line(), msg: msg.to_string() }
+    }
+    fn fresh_uid(&mut self) -> u32 {
+        self.uid += 1;
+        self.uid
+    }
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.kind == TokKind::Punct && t.is(p)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseErr> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{p}`")))
+        }
+    }
+    fn eat_ident(&mut self) -> Option<String> {
+        let t = self.peek()?;
+        if t.kind == TokKind::Ident {
+            let s = t.text.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Parse items until `}` (not consumed) or EOF.
+    fn items(&mut self, qual: Option<&str>) -> Result<(), ParseErr> {
+        while let Some(t) = self.peek() {
+            if t.is("}") && t.kind == TokKind::Punct {
+                return Ok(());
+            }
+            self.item(qual)?;
+        }
+        Ok(())
+    }
+
+    /// Consume one item (or one item prefix: attribute, `pub`, modifier).
+    fn item(&mut self, qual: Option<&str>) -> Result<(), ParseErr> {
+        let Some(t) = self.peek() else { return Ok(()) };
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "#" => return self.skip_attr(),
+                ";" => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => {
+                    // Tolerance: stray punctuation at item level.
+                    self.bump();
+                    return Ok(());
+                }
+            }
+        }
+        // Item-level macro invocation (`thread_local! { … }`, vendored
+        // macro fan-outs): skip the delimited body.
+        if t.kind == TokKind::Ident
+            && !t.is("macro_rules")
+            && !is_keyword(&t.text)
+            && self.at(1).is_some_and(|n| n.is("!"))
+        {
+            self.bump();
+            self.bump();
+            match self.peek().map(|t| t.text.as_str()) {
+                Some("(") => self.skip_group("(", ")")?,
+                Some("[") => self.skip_group("[", "]")?,
+                Some("{") => self.skip_group("{", "}")?,
+                _ => {}
+            }
+            let _ = self.eat_punct(";");
+            self.pending_test = false;
+            return Ok(());
+        }
+        match t.text.as_str() {
+            "pub" => {
+                self.bump();
+                if self.peek().is_some_and(|t| t.is("(")) {
+                    self.skip_group("(", ")")?;
+                }
+                Ok(())
+            }
+            "unsafe" | "async" | "default" => {
+                self.bump();
+                Ok(())
+            }
+            "extern" => {
+                self.bump();
+                if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                    self.bump();
+                }
+                if self.peek().is_some_and(|t| t.is("{")) {
+                    self.skip_group("{", "}")?;
+                    self.pending_test = false;
+                } else if self.peek().is_some_and(|t| t.is_kw("crate")) {
+                    self.skip_to_semi()?;
+                    self.pending_test = false;
+                }
+                Ok(())
+            }
+            "const" => {
+                if self.at(1).is_some_and(|t| t.is_kw("fn")) {
+                    self.bump();
+                } else {
+                    self.skip_to_semi()?;
+                    self.pending_test = false;
+                }
+                Ok(())
+            }
+            "use" => {
+                self.parse_use()?;
+                self.pending_test = false;
+                Ok(())
+            }
+            "fn" => self.parse_fn(qual),
+            "impl" => self.parse_impl(),
+            "trait" => self.parse_trait(),
+            "struct" | "enum" | "union" => {
+                self.skip_decl()?;
+                self.pending_test = false;
+                Ok(())
+            }
+            "type" | "static" => {
+                self.skip_to_semi()?;
+                self.pending_test = false;
+                Ok(())
+            }
+            "mod" => {
+                self.bump();
+                let _name = self.eat_ident();
+                if self.eat_punct(";") {
+                    self.pending_test = false;
+                    return Ok(());
+                }
+                self.expect_punct("{")?;
+                self.items(qual)?;
+                self.expect_punct("}")?;
+                self.pending_test = false;
+                Ok(())
+            }
+            "macro_rules" => {
+                self.bump();
+                let _ = self.eat_punct("!");
+                let _name = self.eat_ident();
+                if self.peek().is_some_and(|t| t.is("{")) {
+                    self.skip_group("{", "}")?;
+                } else {
+                    self.skip_to_semi()?;
+                }
+                self.pending_test = false;
+                Ok(())
+            }
+            _ => {
+                // Tolerance: unknown item-level token.
+                self.bump();
+                Ok(())
+            }
+        }
+    }
+
+    /// Skip `#[…]` / `#![…]`, noting whether it mentions `test`.
+    fn skip_attr(&mut self) -> Result<(), ParseErr> {
+        self.expect_punct("#")?;
+        let _ = self.eat_punct("!");
+        let start = self.pos;
+        self.skip_group("[", "]")?;
+        if self.toks[start..self.pos].iter().any(|t| t.is_kw("test")) {
+            self.pending_test = true;
+        }
+        Ok(())
+    }
+
+    /// Skip a balanced `open … close` group (counting only that pair).
+    fn skip_group(&mut self, open: &str, close: &str) -> Result<(), ParseErr> {
+        self.expect_punct(open)?;
+        let mut depth = 1u32;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                if t.is(open) {
+                    depth += 1;
+                } else if t.is(close) {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+            }
+            self.bump();
+        }
+        Err(self.err("unbalanced group at end of file"))
+    }
+
+    /// Skip to `;` at delimiter depth 0, consuming balanced groups.
+    fn skip_to_semi(&mut self) -> Result<(), ParseErr> {
+        let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" if p == 0 && b == 0 && c == 0 => {
+                        self.bump();
+                        return Ok(());
+                    }
+                    "(" => p += 1,
+                    ")" => p -= 1,
+                    "[" => b += 1,
+                    "]" => b -= 1,
+                    "{" => c += 1,
+                    "}" => {
+                        if c == 0 {
+                            // `}` closing our enclosing scope: stop here.
+                            return Ok(());
+                        }
+                        c -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+        Ok(())
+    }
+
+    /// Skip a struct/enum/union declaration: to `;` or over a brace body.
+    fn skip_decl(&mut self) -> Result<(), ParseErr> {
+        let (mut p, mut b) = (0i32, 0i32);
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" if p == 0 && b == 0 => {
+                        self.bump();
+                        return Ok(());
+                    }
+                    "{" if p == 0 && b == 0 => return self.skip_group("{", "}"),
+                    "(" => p += 1,
+                    ")" => p -= 1,
+                    "[" => b += 1,
+                    "]" => b -= 1,
+                    "}" => return Ok(()),
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+        Ok(())
+    }
+
+    /// `use tree;` — record every leaf with its root path segment.
+    fn parse_use(&mut self) -> Result<(), ParseErr> {
+        self.bump(); // use
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix)?;
+        let _ = self.eat_punct(";");
+        Ok(())
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) -> Result<(), ParseErr> {
+        let depth0 = prefix.len();
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident {
+                let name = t.text.clone();
+                self.bump();
+                if self.peek().is_some_and(|t| t.is_kw("as")) {
+                    self.bump();
+                    let alias = self.eat_ident().unwrap_or(name);
+                    self.record_use(prefix, &alias);
+                    break;
+                }
+                if self.eat_punct("::") {
+                    prefix.push(name);
+                    continue;
+                }
+                // `self` leaf imports the prefix's own last segment.
+                let leaf = if name == "self" {
+                    prefix.last().cloned().unwrap_or(name)
+                } else {
+                    name
+                };
+                self.record_use(prefix, &leaf);
+                break;
+            } else if t.is("*") {
+                self.bump();
+                self.record_use(prefix, "*");
+                break;
+            } else if t.is("{") {
+                self.bump();
+                loop {
+                    if self.eat_punct("}") {
+                        break;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.err("unclosed use group"));
+                    }
+                    self.use_tree(prefix)?;
+                    let _ = self.eat_punct(",");
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        prefix.truncate(depth0);
+        Ok(())
+    }
+
+    fn record_use(&mut self, prefix: &[String], leaf: &str) {
+        let root = prefix.first().cloned().unwrap_or_else(|| leaf.to_string());
+        self.uses.push(UseImport { name: leaf.to_string(), root });
+    }
+
+    /// Skip `<…>` generics (shift-aware), starting at `<`.
+    fn skip_angles(&mut self) -> Result<(), ParseErr> {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return Ok(());
+            }
+        }
+        Err(self.err("unclosed generics"))
+    }
+
+    /// A type path: consume tokens until `for`/`where`/`{` at angle depth
+    /// 0; return the last depth-0 identifier.
+    fn type_path(&mut self, stop_for: bool) -> Result<String, ParseErr> {
+        let mut angle = 0i32;
+        let mut last = String::from("?");
+        while let Some(t) = self.peek() {
+            if angle == 0 {
+                if t.is("{") || t.is_kw("where") || (stop_for && t.is_kw("for")) {
+                    return Ok(last);
+                }
+                if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                    last = t.text.clone();
+                }
+            }
+            match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                _ => {}
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated type path"))
+    }
+
+    fn parse_impl(&mut self) -> Result<(), ParseErr> {
+        let start_line = self.cur_line();
+        self.bump(); // impl
+        if self.peek().is_some_and(|t| t.is("<")) {
+            self.skip_angles()?;
+        }
+        let first = self.type_path(true)?;
+        let (trait_name, self_ty) = if self.peek().is_some_and(|t| t.is_kw("for")) {
+            self.bump();
+            (Some(first), self.type_path(false)?)
+        } else {
+            (None, first)
+        };
+        while let Some(t) = self.peek() {
+            if t.is("{") {
+                break;
+            }
+            self.bump();
+        }
+        self.expect_punct("{")?;
+        self.pending_test = false;
+        self.items(Some(&self_ty))?;
+        let end_line = self.cur_line();
+        self.expect_punct("}")?;
+        self.impls.push(ImplBlock { trait_name, self_ty, start_line, end_line, is_trait_decl: false });
+        Ok(())
+    }
+
+    fn parse_trait(&mut self) -> Result<(), ParseErr> {
+        let start_line = self.cur_line();
+        self.bump(); // trait
+        let name = self.eat_ident().ok_or_else(|| self.err("trait needs a name"))?;
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if angle == 0 && t.is("{") {
+                break;
+            }
+            if angle == 0 && t.is(";") {
+                // `trait X: Y;`-style forward decl (not real Rust, tolerate).
+                self.bump();
+                return Ok(());
+            }
+            match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                _ => {}
+            }
+            self.bump();
+        }
+        self.expect_punct("{")?;
+        self.pending_test = false;
+        self.items(Some(&name))?;
+        let end_line = self.cur_line();
+        self.expect_punct("}")?;
+        self.impls.push(ImplBlock {
+            trait_name: Some(name.clone()),
+            self_ty: name,
+            start_line,
+            end_line,
+            is_trait_decl: true,
+        });
+        Ok(())
+    }
+
+    fn parse_fn(&mut self, qual: Option<&str>) -> Result<(), ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // fn
+        let name = self.eat_ident().ok_or_else(|| self.err("fn needs a name"))?;
+        if self.peek().is_some_and(|t| t.is("<")) {
+            self.skip_angles()?;
+        }
+        self.expect_punct("(")?;
+        let params = self.fn_params()?;
+        // Return type + where clause: to `{` (body) or `;` (trait decl).
+        let (mut p, mut b, mut angle) = (0i32, 0i32, 0i32);
+        loop {
+            let Some(t) = self.peek() else {
+                return Err(self.err("unterminated fn signature"));
+            };
+            if p == 0 && b == 0 && angle == 0 {
+                if t.is("{") {
+                    break;
+                }
+                if t.is(";") {
+                    self.bump(); // bodyless trait method decl
+                    self.pending_test = false;
+                    return Ok(());
+                }
+            }
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => b += 1,
+                "]" => b -= 1,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                _ => {}
+            }
+            self.bump();
+        }
+        let body = self.parse_block()?;
+        let in_cfg_test =
+            self.lines.get(line.saturating_sub(1)).is_some_and(|l| l.in_cfg_test);
+        let is_test = self.pending_test || in_cfg_test;
+        self.pending_test = false;
+        self.fns.push(FnItem { name, qual: qual.map(str::to_string), params, line, body, is_test });
+        Ok(())
+    }
+
+    /// Parameter binding idents; called with `(` consumed, consumes `)`.
+    fn fn_params(&mut self) -> Result<Vec<String>, ParseErr> {
+        let mut out = Vec::new();
+        let (mut p, mut b, mut c, mut angle) = (1i32, 0i32, 0i32, 0i32);
+        let mut collecting = true;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => {
+                        p -= 1;
+                        if p == 0 {
+                            self.bump();
+                            return Ok(out);
+                        }
+                    }
+                    "[" => b += 1,
+                    "]" => b -= 1,
+                    "{" => c += 1,
+                    "}" => c -= 1,
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle = (angle - 1).max(0),
+                    ">>" => angle = (angle - 2).max(0),
+                    ":" if p == 1 && b == 0 && c == 0 && angle == 0 => collecting = false,
+                    "," if p == 1 && b == 0 && c == 0 && angle == 0 => collecting = true,
+                    _ => {}
+                }
+            } else if collecting
+                && angle == 0
+                && t.kind == TokKind::Ident
+                && !is_keyword(&t.text)
+                && t.text != "_"
+            {
+                out.push(t.text.clone());
+            }
+            self.bump();
+        }
+        Err(self.err("unclosed parameter list"))
+    }
+
+    /// `{ statements }` — consumes both braces.
+    fn parse_block(&mut self) -> Result<Vec<Node>, ParseErr> {
+        self.expect_punct("{")?;
+        let mut nodes = Vec::new();
+        loop {
+            let Some(t) = self.peek() else {
+                return Err(self.err("unexpected end of file in block"));
+            };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "}" => {
+                        self.bump();
+                        return Ok(nodes);
+                    }
+                    ";" => {
+                        self.bump();
+                        continue;
+                    }
+                    "#" => {
+                        self.skip_attr()?;
+                        continue;
+                    }
+                    "{" => {
+                        nodes.push(Node::Block(self.parse_block()?));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Lifetime && self.at(1).is_some_and(|t| t.is(":")) {
+                // Loop label: drop it, next iteration parses the loop.
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        nodes.push(self.stmt_let()?);
+                        continue;
+                    }
+                    "if" => {
+                        nodes.push(self.expr_if()?);
+                        continue;
+                    }
+                    "match" => {
+                        nodes.push(self.expr_match()?);
+                        continue;
+                    }
+                    "while" => {
+                        nodes.push(self.expr_while()?);
+                        continue;
+                    }
+                    "for" => {
+                        nodes.push(self.expr_for()?);
+                        continue;
+                    }
+                    "loop" => {
+                        nodes.push(self.expr_loop()?);
+                        continue;
+                    }
+                    "unsafe" if self.at(1).is_some_and(|t| t.is("{")) => {
+                        self.bump();
+                        nodes.push(Node::Block(self.parse_block()?));
+                        continue;
+                    }
+                    "return" => {
+                        nodes.push(self.stmt_exit(ExitKind::Return)?);
+                        continue;
+                    }
+                    "break" => {
+                        nodes.push(self.stmt_exit(ExitKind::Break)?);
+                        continue;
+                    }
+                    "continue" => {
+                        nodes.push(self.stmt_exit(ExitKind::Continue)?);
+                        continue;
+                    }
+                    // Nested items inside fn bodies.
+                    "fn" | "struct" | "enum" | "union" | "impl" | "trait" | "use" | "mod"
+                    | "type" | "static" | "macro_rules" | "pub" | "const" | "extern" => {
+                        self.item(None)?;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Expression statement.
+            let mut seq = self.expr_seq(Term::stmt())?;
+            nodes.append(&mut seq);
+            let _ = self.eat_punct(";");
+        }
+    }
+
+    fn stmt_let(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // let
+        let pat = self.pattern(PatEnd::Eq)?;
+        let mut init = Vec::new();
+        let mut else_b = Vec::new();
+        if self.eat_punct("=") {
+            init = self.expr_seq(Term::let_init())?;
+            if self.peek().is_some_and(|t| t.is_kw("else")) {
+                self.bump();
+                else_b = self.parse_block()?;
+            }
+        }
+        let _ = self.eat_punct(";");
+        Ok(Node::Let { binds: pat.binds, arity: pat.arity, init, else_b, line })
+    }
+
+    fn stmt_exit(&mut self, kind: ExitKind) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump();
+        if kind != ExitKind::Return && self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+            self.bump();
+        }
+        let value = self.expr_seq(Term::exit())?;
+        let _ = self.eat_punct(";");
+        Ok(Node::Exit { kind, value, line })
+    }
+
+    fn expr_if(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // if
+        let mut binds = Vec::new();
+        if self.peek().is_some_and(|t| t.is_kw("let")) {
+            self.bump();
+            binds = self.pattern(PatEnd::Eq)?.binds;
+            let _ = self.eat_punct("=");
+        }
+        let cond = self.expr_seq(Term::cond())?;
+        let then_b = self.parse_block()?;
+        let mut else_b = Vec::new();
+        if self.peek().is_some_and(|t| t.is_kw("else")) {
+            self.bump();
+            if self.peek().is_some_and(|t| t.is_kw("if")) {
+                else_b.push(self.expr_if()?);
+            } else {
+                else_b = self.parse_block()?;
+            }
+        }
+        Ok(Node::If { uid: self.fresh_uid(), cond, binds, then_b, else_b, line })
+    }
+
+    fn expr_while(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // while
+        let mut binds = Vec::new();
+        if self.peek().is_some_and(|t| t.is_kw("let")) {
+            self.bump();
+            binds = self.pattern(PatEnd::Eq)?.binds;
+            let _ = self.eat_punct("=");
+        }
+        let cond = self.expr_seq(Term::cond())?;
+        let body = self.parse_block()?;
+        Ok(Node::Loop { uid: self.fresh_uid(), kind: LoopKind::While, cond, binds, body, line })
+    }
+
+    fn expr_for(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // for
+        let binds = self.pattern(PatEnd::In)?.binds;
+        if self.peek().is_some_and(|t| t.is_kw("in")) {
+            self.bump();
+        }
+        let cond = self.expr_seq(Term::cond())?;
+        let body = self.parse_block()?;
+        Ok(Node::Loop { uid: self.fresh_uid(), kind: LoopKind::For, cond, binds, body, line })
+    }
+
+    fn expr_loop(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // loop
+        let body = self.parse_block()?;
+        Ok(Node::Loop {
+            uid: self.fresh_uid(),
+            kind: LoopKind::Loop,
+            cond: Vec::new(),
+            binds: Vec::new(),
+            body,
+            line,
+        })
+    }
+
+    fn expr_match(&mut self) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump(); // match
+        let scrutinee = self.expr_seq(Term::cond())?;
+        self.expect_punct("{")?;
+        let mut arms = Vec::new();
+        loop {
+            let Some(t) = self.peek() else {
+                return Err(self.err("unexpected end of file in match"));
+            };
+            if t.is("}") {
+                self.bump();
+                break;
+            }
+            if t.is("#") {
+                self.skip_attr()?;
+                continue;
+            }
+            let _ = self.eat_punct("|");
+            let arm_line = self.cur_line();
+            let pat = self.pattern(PatEnd::Arm)?;
+            let mut guard = Vec::new();
+            if self.peek().is_some_and(|t| t.is_kw("if")) {
+                self.bump();
+                guard = self.expr_seq(Term::guard())?;
+            }
+            self.expect_punct("=>")?;
+            let body = if self.peek().is_some_and(|t| t.is("{")) {
+                self.parse_block()?
+            } else {
+                self.expr_seq(Term::arm())?
+            };
+            let _ = self.eat_punct(",");
+            arms.push(Arm { binds: pat.binds, guard, body, line: arm_line });
+        }
+        Ok(Node::Match { uid: self.fresh_uid(), scrutinee, arms, line })
+    }
+
+    /// Parse a pattern (plus, for `Eq`, any `: Type` annotation) up to its
+    /// end token, collecting binding idents.
+    fn pattern(&mut self, end: PatEnd) -> Result<Pat, ParseErr> {
+        let mut binds = Vec::new();
+        let (mut p, mut b, mut c, mut angle) = (0i32, 0i32, 0i32, 0i32);
+        let tuple = self.peek().is_some_and(|t| t.is("("));
+        let mut arity = 0usize;
+        let mut in_type = false;
+        while let Some(t) = self.peek() {
+            let depth0 = p == 0 && b == 0 && c == 0 && angle == 0;
+            if depth0 {
+                let done = match end {
+                    PatEnd::Eq => t.is("=") && t.kind == TokKind::Punct,
+                    PatEnd::In => t.is_kw("in"),
+                    PatEnd::Arm => t.is("=>") || t.is_kw("if"),
+                };
+                // A `{` after a path is a struct pattern (consumed via
+                // brace depth below); any other `;`/`{`/`}` means the
+                // caller's construct ended early: stop without consuming.
+                let struct_pat = t.is("{")
+                    && t.kind == TokKind::Punct
+                    && self
+                        .pos
+                        .checked_sub(1)
+                        .and_then(|k| self.toks.get(k))
+                        .is_some_and(|pt| pt.kind == TokKind::Ident && !is_keyword(&pt.text));
+                if done
+                    || t.is(";")
+                    || t.is("}")
+                    || (t.is("{") && t.kind == TokKind::Punct && !struct_pat)
+                {
+                    break;
+                }
+                if t.is(":") && t.kind == TokKind::Punct {
+                    in_type = true;
+                }
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => {
+                        if p == 0 {
+                            break;
+                        }
+                        p -= 1;
+                    }
+                    "[" => b += 1,
+                    "]" => {
+                        if b == 0 {
+                            break;
+                        }
+                        b -= 1;
+                    }
+                    "{" => c += 1,
+                    "}" => c -= 1,
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle = (angle - 1).max(0),
+                    ">>" => angle = (angle - 2).max(0),
+                    "," if tuple && p == 1 && b == 0 && c == 0 && angle == 0 && !in_type => {
+                        arity += 1;
+                    }
+                    _ => {}
+                }
+            } else if !in_type
+                && angle == 0
+                && t.kind == TokKind::Ident
+                && !is_keyword(&t.text)
+                && t.text != "_"
+            {
+                let qualified =
+                    self.pos > 0 && self.toks.get(self.pos - 1).is_some_and(|p| p.is("::"));
+                let callish = self.at(1).is_some_and(|n| {
+                    n.is("::") || n.is("(") || n.is("{") || n.is("!") || n.is("<")
+                });
+                if !qualified && !callish {
+                    binds.push(t.text.clone());
+                }
+            }
+            self.bump();
+        }
+        let arity = if tuple { Some(arity + 1) } else { None };
+        Ok(Pat { binds, arity })
+    }
+
+    /// The expression-sequence parser: consumes tokens into flat segments,
+    /// recursing into control expressions at delimiter depth 0. Stops
+    /// (without consuming) at a terminator from `term`, at `}`, or at an
+    /// unbalanced closer.
+    fn expr_seq(&mut self, term: Term) -> Result<Vec<Node>, ParseErr> {
+        let mut nodes = Vec::new();
+        let mut seg_start = self.pos;
+        let (mut p, mut b, mut c, mut angle) = (0i32, 0i32, 0i32, 0i32);
+        macro_rules! flush {
+            () => {
+                if seg_start < self.pos {
+                    let r = seg_start..self.pos;
+                    nodes.push(Node::Seg(Segment {
+                        calls: extract_calls(self.toks, r.clone()),
+                        line: self.toks[seg_start].line,
+                        toks: r,
+                    }));
+                }
+            };
+        }
+        loop {
+            let Some(t) = self.peek() else {
+                flush!();
+                return Ok(nodes);
+            };
+            let depth0 = p == 0 && b == 0 && c == 0;
+            if depth0 {
+                if t.kind == TokKind::Punct {
+                    let stop = t.is("}")
+                        || (t.is(";") && term.semi)
+                        || (t.is(",") && term.comma && angle == 0)
+                        || (t.is("=>") && term.fat_arrow)
+                        || (t.is("{") && term.brace_opens);
+                    if stop {
+                        flush!();
+                        return Ok(nodes);
+                    }
+                    if t.is("{") {
+                        // Struct literal / closure body → into the segment;
+                        // otherwise a block expression.
+                        let prev = self.pos.checked_sub(1).and_then(|k| self.toks.get(k));
+                        let swallow = prev.is_some_and(|pt| {
+                            (pt.kind == TokKind::Ident && !is_keyword(&pt.text))
+                                || pt.is(">")
+                                || pt.is("|")
+                                || pt.is("||")
+                                || pt.is_kw("move")
+                        });
+                        if swallow {
+                            c += 1;
+                            self.bump();
+                            continue;
+                        }
+                        flush!();
+                        nodes.push(Node::Block(self.parse_block()?));
+                        seg_start = self.pos;
+                        continue;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    if term.else_kw && t.is("else") {
+                        flush!();
+                        return Ok(nodes);
+                    }
+                    let recurse = match t.text.as_str() {
+                        "if" => Some(self.pos),
+                        "match" | "while" | "for" | "loop" => Some(self.pos),
+                        "unsafe" if self.at(1).is_some_and(|n| n.is("{")) => Some(self.pos),
+                        "return" | "break" | "continue" => Some(self.pos),
+                        _ => None,
+                    };
+                    if recurse.is_some() {
+                        flush!();
+                        let node = match t.text.as_str() {
+                            "if" => self.expr_if()?,
+                            "match" => self.expr_match()?,
+                            "while" => self.expr_while()?,
+                            "for" => self.expr_for()?,
+                            "loop" => self.expr_loop()?,
+                            "unsafe" => {
+                                self.bump();
+                                Node::Block(self.parse_block()?)
+                            }
+                            "return" => self.stmt_exit_inline(ExitKind::Return, term)?,
+                            "break" => self.stmt_exit_inline(ExitKind::Break, term)?,
+                            _ => self.stmt_exit_inline(ExitKind::Continue, term)?,
+                        };
+                        nodes.push(node);
+                        seg_start = self.pos;
+                        continue;
+                    }
+                }
+            }
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => {
+                        if p == 0 {
+                            flush!();
+                            return Ok(nodes);
+                        }
+                        p -= 1;
+                    }
+                    "[" => b += 1,
+                    "]" => {
+                        if b == 0 {
+                            flush!();
+                            return Ok(nodes);
+                        }
+                        b -= 1;
+                    }
+                    "{" => c += 1,
+                    "}" => {
+                        if c == 0 {
+                            flush!();
+                            return Ok(nodes);
+                        }
+                        c -= 1;
+                    }
+                    // Turbofish-only angle tracking: `<` in expression
+                    // position opens generics only after `::`.
+                    "<" => {
+                        let after_colons =
+                            self.pos.checked_sub(1).and_then(|k| self.toks.get(k)).is_some_and(
+                                |pt| pt.is("::"),
+                            );
+                        if after_colons || angle > 0 {
+                            angle += 1;
+                        }
+                    }
+                    ">" => angle = (angle - 1).max(0),
+                    ">>" => angle = (angle - 2).max(0),
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// `return`/`break`/`continue` in expression position: value inherits
+    /// the surrounding terminators.
+    fn stmt_exit_inline(&mut self, kind: ExitKind, term: Term) -> Result<Node, ParseErr> {
+        let line = self.cur_line();
+        self.bump();
+        if kind != ExitKind::Return && self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+            self.bump();
+        }
+        let value = self.expr_seq(term)?;
+        Ok(Node::Exit { kind, value, line })
+    }
+}
+
+/// Find every call site inside `toks[r]`. Nested calls (inside argument
+/// lists, closures, struct literals) are all reported, outermost first.
+pub fn extract_calls(toks: &[Tok], r: Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = r.start;
+    while i < r.end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || is_keyword(&t.text)
+            || matches!(t.text.as_str(), "Some" | "None" | "Ok" | "Err")
+        {
+            i += 1;
+            continue;
+        }
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if toks.get(i + 1).is_some_and(|n| n.is("!")) {
+            if let Some(d) = toks.get(i + 2) {
+                let close = match d.text.as_str() {
+                    "(" => Some(match_delim(toks, i + 2, r.end, "(", ")")),
+                    "[" => Some(match_delim(toks, i + 2, r.end, "[", "]")),
+                    "{" => Some(match_delim(toks, i + 2, r.end, "{", "}")),
+                    _ => None,
+                };
+                if let Some(close) = close {
+                    out.push(CallSite {
+                        name: t.text.clone(),
+                        qual: walk_back_qual(toks, i, r.start),
+                        is_method: false,
+                        is_macro: true,
+                        line: t.line,
+                        col: t.col,
+                        tok: i,
+                        args: split_args(toks, i + 3, close, true),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Plain or method call, with optional turbofish.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is("::")) && toks.get(j + 1).is_some_and(|n| n.is("<")) {
+            j = skip_angle_toks(toks, j + 1, r.end);
+        }
+        if toks.get(j).is_some_and(|n| n.is("(")) && j < r.end {
+            let close = match_delim(toks, j, r.end, "(", ")");
+            let is_method = i > r.start && toks[i - 1].is(".");
+            let qual = if is_method { Vec::new() } else { walk_back_qual(toks, i, r.start) };
+            out.push(CallSite {
+                name: t.text.clone(),
+                qual,
+                is_method,
+                is_macro: false,
+                line: t.line,
+                col: t.col,
+                tok: i,
+                args: split_args(toks, j + 1, close, false),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token matching the opener at `open` (clamped to `end`).
+fn match_delim(toks: &[Tok], open: usize, end: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        if toks[k].kind == TokKind::Punct {
+            if toks[k].is(o) {
+                depth += 1;
+            } else if toks[k].is(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// After `::`, skip `<…>` starting at index `lt` (which holds `<`);
+/// returns the index just past the closing `>`.
+fn skip_angle_toks(toks: &[Tok], lt: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = lt;
+    while k < end {
+        match toks[k].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        k += 1;
+        if depth <= 0 {
+            return k;
+        }
+    }
+    end
+}
+
+/// Split the tokens in `(start..close)` at top-level `,` (and, for macro
+/// bodies, `;` — so `vec![v; n]` yields `[v, n]`).
+fn split_args(toks: &[Tok], start: usize, close: usize, semi_too: bool) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let (mut p, mut b, mut c, mut angle) = (0i32, 0i32, 0i32, 0i32);
+    let mut arg_start = start;
+    let mut k = start;
+    while k < close {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => b += 1,
+                "]" => b -= 1,
+                "{" => c += 1,
+                "}" => c -= 1,
+                "<" if (k > start && toks[k - 1].is("::")) || angle > 0 => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "," | ";"
+                    if p == 0
+                        && b == 0
+                        && c == 0
+                        && angle == 0
+                        && (t.is(",") || semi_too) =>
+                {
+                    if arg_start < k {
+                        out.push(arg_start..k);
+                    }
+                    arg_start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    if arg_start < close {
+        out.push(arg_start..close);
+    }
+    out
+}
+
+/// Walk back over `Ident ::` pairs to collect a call's path qualifier.
+fn walk_back_qual(toks: &[Tok], name_at: usize, lo: usize) -> Vec<String> {
+    let mut qual = Vec::new();
+    let mut k = name_at;
+    while k >= lo + 2
+        && toks[k - 1].is("::")
+        && toks[k - 2].kind == TokKind::Ident
+        && !is_keyword(&toks[k - 2].text)
+    {
+        qual.insert(0, toks[k - 2].text.clone());
+        k -= 2;
+    }
+    // `Self::f(…)` / `crate::m::f(…)` keep their keyword head so callers
+    // can resolve them.
+    if k >= lo + 2 && toks[k - 1].is("::") && toks[k - 2].kind == TokKind::Ident {
+        qual.insert(0, toks[k - 2].text.clone());
+    }
+    qual
+}
+
+/// Every ident token (with its index) in a range — the taint pass's view.
+pub fn idents_in(toks: &[Tok], r: Range<usize>) -> impl Iterator<Item = (usize, &Tok)> {
+    toks[r.clone()]
+        .iter()
+        .enumerate()
+        .map(move |(k, t)| (r.start + k, t))
+        .filter(|(_, t)| t.kind == TokKind::Ident && !is_keyword(&t.text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&scan(src)).expect("parse")
+    }
+
+    fn flat_calls(nodes: &[Node], out: &mut Vec<(String, bool, bool)>) {
+        for n in nodes {
+            match n {
+                Node::Seg(s) => {
+                    for c in &s.calls {
+                        out.push((c.name.clone(), c.is_method, c.is_macro));
+                    }
+                }
+                Node::Let { init, else_b, .. } => {
+                    flat_calls(init, out);
+                    flat_calls(else_b, out);
+                }
+                Node::If { cond, then_b, else_b, .. } => {
+                    flat_calls(cond, out);
+                    flat_calls(then_b, out);
+                    flat_calls(else_b, out);
+                }
+                Node::Loop { cond, body, .. } => {
+                    flat_calls(cond, out);
+                    flat_calls(body, out);
+                }
+                Node::Match { scrutinee, arms, .. } => {
+                    flat_calls(scrutinee, out);
+                    for a in arms {
+                        flat_calls(&a.guard, out);
+                        flat_calls(&a.body, out);
+                    }
+                }
+                Node::Block(b) => flat_calls(b, out),
+                Node::Exit { value, .. } => flat_calls(value, out),
+            }
+        }
+    }
+
+    #[test]
+    fn fn_items_params_and_impl_quals() {
+        let f = parse(
+            "impl Comm for ThreadComm {\n    fn rank(&self) -> usize { self.r }\n}\n\
+             pub fn free(rank: usize, mut n: u64) -> u64 { n + rank as u64 }\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "rank");
+        assert_eq!(f.fns[0].qual.as_deref(), Some("ThreadComm"));
+        assert_eq!(f.fns[1].params, vec!["rank", "n"]);
+        assert_eq!(f.impls.len(), 1);
+        assert_eq!(f.impls[0].trait_name.as_deref(), Some("Comm"));
+        assert!(!f.impls[0].is_trait_decl);
+    }
+
+    #[test]
+    fn control_heads_and_let_else() {
+        let f = parse(
+            "fn f(v: &[u64]) -> u64 {\n    let Some(x) = v.first() else { return 0; };\n    \
+             let mut t = 0;\n    for i in 0..v.len() {\n        if *x > 1 { t += v[i]; } else { t += 1; }\n    }\n    \
+             match t { 0 => 1, n if n > 9 => n, _ => 2 }\n}\n",
+        );
+        let body = &f.fns[0].body;
+        let Node::Let { binds, else_b, .. } = &body[0] else { panic!("let-else") };
+        assert_eq!(binds, &["x"]);
+        assert_eq!(else_b.len(), 1);
+        let Node::Loop { kind, binds, body: lb, .. } = &body[2] else { panic!("for") };
+        assert_eq!(*kind, LoopKind::For);
+        assert_eq!(binds, &["i"]);
+        assert!(matches!(lb[0], Node::If { .. }));
+        let Node::Match { arms, .. } = body.last().unwrap() else { panic!("match") };
+        assert_eq!(arms.len(), 3);
+        assert!(!arms[1].guard.is_empty() && arms[1].binds == ["n"]);
+    }
+
+    #[test]
+    fn calls_methods_macros_turbofish_struct_literals() {
+        let f = parse(
+            "fn f(comm: &C) {\n    let r = comm.rank();\n    let v = vec![r; 8];\n    \
+             let s = CommStats { total: r, calls: v.len() };\n    \
+             let c = v.iter().collect::<Vec<_>>();\n    let n = Vec::<u8>::with_capacity(4);\n    \
+             drop((s, c, n));\n}\n",
+        );
+        let mut calls = Vec::new();
+        flat_calls(&f.fns[0].body, &mut calls);
+        let names: Vec<&str> = calls.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"rank") && names.contains(&"vec") && names.contains(&"len"));
+        assert!(names.contains(&"collect") && names.contains(&"with_capacity"));
+        assert!(calls.iter().any(|(n, m, _)| n == "rank" && *m));
+        assert!(calls.iter().any(|(n, _, mac)| n == "vec" && *mac));
+        assert!(!names.contains(&"CommStats"), "struct literal is not a call: {names:?}");
+    }
+
+    #[test]
+    fn vec_macro_args_split_at_semicolon() {
+        let f = parse("fn f(n: usize) { let v = vec![0.5; n]; drop(v); }\n");
+        let mut found = false;
+        let mut calls = Vec::new();
+        flat_calls(&f.fns[0].body, &mut calls);
+        assert!(calls.iter().any(|(n, _, m)| n == "vec" && *m));
+        fn find(nodes: &[Node], found: &mut bool) {
+            for n in nodes {
+                if let Node::Let { init, .. } = n {
+                    for m in init {
+                        if let Node::Seg(s) = m {
+                            for c in &s.calls {
+                                if c.name == "vec" {
+                                    assert_eq!(c.args.len(), 2, "vec![v; n] splits");
+                                    *found = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        find(&f.fns[0].body, &mut found);
+        assert!(found);
+    }
+
+    #[test]
+    fn tuple_let_arity_and_use_imports() {
+        let f = parse(
+            "use geographer_parcomm::{Comm, thread::run_spmd as spmd, *};\n\
+             fn f(c: &C) { let (p, r) = (c.size(), c.rank()); drop((p, r)); }\n",
+        );
+        let Node::Let { binds, arity, .. } = &f.fns[0].body[0] else { panic!() };
+        assert_eq!(binds, &["p", "r"]);
+        assert_eq!(*arity, Some(2));
+        let names: Vec<(&str, &str)> =
+            f.uses.iter().map(|u| (u.name.as_str(), u.root.as_str())).collect();
+        assert!(names.contains(&("Comm", "geographer_parcomm")));
+        assert!(names.contains(&("spmd", "geographer_parcomm")));
+        assert!(names.contains(&("*", "geographer_parcomm")));
+    }
+
+    #[test]
+    fn test_fns_are_marked_and_trait_decls_recorded() {
+        let f = parse(
+            "pub trait Comm {\n    fn rank(&self) -> usize;\n    fn half(&self) -> usize { self.rank() / 2 }\n}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n",
+        );
+        assert_eq!(f.impls.len(), 1);
+        assert!(f.impls[0].is_trait_decl && f.impls[0].self_ty == "Comm");
+        let half = f.fns.iter().find(|g| g.name == "half").expect("default method");
+        assert_eq!(half.qual.as_deref(), Some("Comm"));
+        let t = f.fns.iter().find(|g| g.name == "t").expect("test fn");
+        assert!(t.is_test);
+    }
+}

@@ -1,15 +1,23 @@
-//! The determinism/SPMD invariant catalog: rules D1–D6.
+//! The determinism/SPMD invariant catalog: rules D1–D10.
 //!
-//! Each rule is a token-level property over the scanned code/comment view
-//! of one file ([`crate::scan`]). Scoping is by workspace-relative path,
-//! so a rule only fires where the invariant it protects actually lives
-//! (DESIGN.md §11 ties each rule to the PR that established its
+//! D1–D6 are token-level properties over the scanned code/comment view of
+//! one file ([`crate::scan`]). D7–D9 are dataflow properties over the
+//! parsed expression tree ([`crate::parse`]): rank-taint propagation
+//! ([`crate::taint`]) and collective-protocol summaries
+//! ([`crate::protocol`]). D10 is an opt-in allocation ban over loops
+//! marked `// geo-analyze: hot-loop`. Scoping is by workspace-relative
+//! path, so a rule only fires where the invariant it protects actually
+//! lives (DESIGN.md §11–§12 tie each rule to the PR that established its
 //! invariant). `#[cfg(test)]` modules and files under `tests/` are exempt
-//! from the rules whose hazards are production-only (D1/D2/D4/D5); D3 and
-//! D6 apply everywhere.
+//! from the rules whose hazards are production-only (D1/D2/D4/D5 and
+//! D7–D9); D3, D6, and D10 apply everywhere.
 
+use std::collections::BTreeSet;
+
+use crate::parse::{CallSite, Node, ParsedFile};
 use crate::scan::{self, Line};
 use crate::Violation;
+use crate::{callgraph, protocol, taint};
 
 /// Rule ids and one-line summaries (the `--list` output).
 pub const RULES: &[(&str, &str)] = &[
@@ -31,6 +39,22 @@ pub const RULES: &[(&str, &str)] = &[
         "D5: no unwrap/expect/panic! inside SPMD rank closures and Comm implementations",
     ),
     ("wire-kind-table", "D6: frame-kind constants are collision-free and all used"),
+    (
+        "rank-tainted-guard",
+        "D7: no collective call dominated by a rank-dependent branch or loop condition",
+    ),
+    (
+        "protocol-divergence",
+        "D8: every path through a rank-dependent branch issues the same collective sequence",
+    ),
+    (
+        "rank-tainted-length",
+        "D9: collective buffer lengths and broadcast roots must not be rank-dependent",
+    ),
+    (
+        "hot-loop-alloc",
+        "D10: no allocation inside loops marked `// geo-analyze: hot-loop`",
+    ),
 ];
 
 /// Whether `id` names a rule a waiver may reference.
@@ -71,8 +95,10 @@ const KERNEL_MODULES: &[&str] = &[
     "crates/planner/src/hier_refine.rs",
 ];
 
-/// Files that *are* Comm implementations: D5 applies to every non-test
-/// line (a panic here strands peers inside collectives — DESIGN.md §10).
+/// Files that contain Comm implementations. With a parse in hand, D5
+/// applies inside `impl … Comm for …` blocks and the `Comm` trait
+/// declaration (a panic there strands peers inside collectives —
+/// DESIGN.md §10); without one, the whole file stays in scope as before.
 /// `wire.rs`/`stats.rs` are serialization helpers, not collectives, and
 /// fail-loud on malformed frames by design.
 const PANIC_SCOPE_FILES: &[&str] = &[
@@ -87,15 +113,24 @@ const PANIC_SCOPE_FILES: &[&str] = &[
 const SPMD_ENTRY_POINTS: &[&str] =
     &["run_spmd", "run_spmd_proc", "run_spmd_checked", "run_spmd_proc_checked"];
 
-/// Run every rule over one scanned file.
-pub fn apply_rules(path: &str, lines: &[Line], is_tests_file: bool) -> Vec<Violation> {
+/// Run every rule over one scanned file. `parsed` is the expression-tree
+/// view when the file parses (D5 scoping, D7–D10); when it is `None` the
+/// dataflow rules stand down and D5 falls back to its lexical scope.
+pub fn apply_rules(
+    path: &str,
+    lines: &[Line],
+    is_tests_file: bool,
+    parsed: Option<&ParsedFile>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     d1_hash_container(path, lines, is_tests_file, &mut out);
     d2_unordered_float_reduce(path, lines, is_tests_file, &mut out);
     d3_unsafe_without_safety(path, lines, &mut out);
     d4_kernel_entropy(path, lines, is_tests_file, &mut out);
-    d5_panic_in_spmd(path, lines, is_tests_file, &mut out);
+    d5_panic_in_spmd(path, lines, is_tests_file, parsed, &mut out);
     d6_wire_kind_table(path, lines, &mut out);
+    d7_d8_d9_protocol(path, is_tests_file, parsed, &mut out);
+    d10_hot_loop_alloc(path, lines, parsed, &mut out);
     out
 }
 
@@ -260,9 +295,23 @@ fn d4_kernel_entropy(path: &str, lines: &[Line], is_tests_file: bool, out: &mut 
     }
 }
 
-fn d5_panic_in_spmd(path: &str, lines: &[Line], is_tests_file: bool, out: &mut Vec<Violation>) {
+fn d5_panic_in_spmd(
+    path: &str,
+    lines: &[Line],
+    is_tests_file: bool,
+    parsed: Option<&ParsedFile>,
+    out: &mut Vec<Violation>,
+) {
     let spans: Vec<(usize, usize)> = if PANIC_SCOPE_FILES.contains(&path) {
-        vec![(0, lines.len())]
+        match parsed {
+            Some(p) => {
+                let mut spans = comm_impl_spans(p);
+                spans.extend(spmd_call_spans(lines));
+                spans
+            }
+            // No parse: lexical fallback, whole file in scope.
+            None => vec![(0, lines.len())],
+        }
     } else if path.starts_with("crates/") {
         spmd_call_spans(lines)
     } else {
@@ -289,6 +338,20 @@ fn d5_panic_in_spmd(path: &str, lines: &[Line], is_tests_file: bool, out: &mut V
             }
         }
     }
+}
+
+/// 0-based line spans (start inclusive, end exclusive) of `impl … Comm
+/// for …` blocks and the `Comm` trait declaration itself (default
+/// collective bodies live there).
+fn comm_impl_spans(parsed: &ParsedFile) -> Vec<(usize, usize)> {
+    parsed
+        .impls
+        .iter()
+        .filter(|b| {
+            b.trait_name.as_deref() == Some("Comm") || (b.is_trait_decl && b.self_ty == "Comm")
+        })
+        .map(|b| (b.start_line.saturating_sub(1), b.end_line))
+        .collect()
 }
 
 /// Line spans (inclusive start, exclusive end) of `run_spmd*`-family call
@@ -417,6 +480,138 @@ fn parse_kind_const(code: &str) -> Option<(String, u64)> {
     digits.parse().ok().map(|v| (name.to_string(), v))
 }
 
+/// D7 (`rank-tainted-guard`), D8 (`protocol-divergence`), and D9
+/// (`rank-tainted-length`): rank-taint dataflow plus per-fn protocol
+/// comparison over the parsed tree. Production `crates/` code only;
+/// `parcomm` is exempt because collective *internals* are rank-dependent
+/// by construction (that is what a collective implementation is).
+fn d7_d8_d9_protocol(
+    path: &str,
+    is_tests_file: bool,
+    parsed: Option<&ParsedFile>,
+    out: &mut Vec<Violation>,
+) {
+    if is_tests_file || !path.starts_with("crates/") || path.starts_with("crates/parcomm/") {
+        return;
+    }
+    let Some(parsed) = parsed else { return };
+    let ws = callgraph::Workspace::from_single(path, parsed.clone());
+    let mut sm = protocol::Summarizer::new(&ws);
+    let file = &ws.files[0];
+    for f in &file.parsed.fns {
+        if f.is_test {
+            continue;
+        }
+        let t = taint::analyze_fn(path, f, &file.parsed.toks);
+        out.extend(t.violations);
+        out.extend(protocol::check_d8_fn(path, &mut sm, 0, f, &t.tainted_conds));
+    }
+}
+
+/// Whether the loop opening at 1-based `loop_line` carries a
+/// `// geo-analyze: hot-loop` marker (same line or the plain comment line
+/// directly above).
+fn hot_loop_marked(lines: &[Line], loop_line: usize) -> bool {
+    [loop_line, loop_line.saturating_sub(1)].iter().any(|&l| {
+        l >= 1
+            && lines.get(l - 1).is_some_and(|ln| {
+                let doc = matches!(ln.comment.trim_start().chars().next(), Some('/') | Some('!'));
+                !doc && ln.comment.contains("geo-analyze: hot-loop")
+            })
+    })
+}
+
+/// The allocating constructs D10 bans inside marked hot loops.
+fn banned_alloc(c: &CallSite) -> Option<String> {
+    if c.is_macro && matches!(c.name.as_str(), "vec" | "format") {
+        return Some(format!("`{}!`", c.name));
+    }
+    if c.is_method && matches!(c.name.as_str(), "collect" | "to_vec" | "clone") {
+        return Some(format!("`.{}()`", c.name));
+    }
+    if !c.is_method
+        && !c.is_macro
+        && matches!(c.name.as_str(), "new" | "with_capacity")
+        && c.qual.last().is_some_and(|q| q == "Vec")
+    {
+        return Some(format!("`Vec::{}()`", c.name));
+    }
+    None
+}
+
+/// D10 (`hot-loop-alloc`): loops marked `// geo-analyze: hot-loop` must
+/// not allocate — the SoA/AoS assignment kernels are sized up front, and
+/// a stray `collect`/`clone`/`vec!` in the per-point loop is a silent
+/// O(n) regression the benches only catch at scale.
+fn d10_hot_loop_alloc(
+    path: &str,
+    lines: &[Line],
+    parsed: Option<&ParsedFile>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(parsed) = parsed else { return };
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for f in &parsed.fns {
+        d10_walk(path, lines, &f.body, &mut seen, out);
+    }
+}
+
+fn d10_walk(
+    path: &str,
+    lines: &[Line],
+    nodes: &[Node],
+    seen: &mut BTreeSet<(usize, usize)>,
+    out: &mut Vec<Violation>,
+) {
+    for n in nodes {
+        match n {
+            Node::Seg(_) => {}
+            Node::Block(b) => d10_walk(path, lines, b, seen, out),
+            Node::Exit { value, .. } => d10_walk(path, lines, value, seen, out),
+            Node::Let { init, else_b, .. } => {
+                d10_walk(path, lines, init, seen, out);
+                d10_walk(path, lines, else_b, seen, out);
+            }
+            Node::If { cond, then_b, else_b, .. } => {
+                d10_walk(path, lines, cond, seen, out);
+                d10_walk(path, lines, then_b, seen, out);
+                d10_walk(path, lines, else_b, seen, out);
+            }
+            Node::Match { scrutinee, arms, .. } => {
+                d10_walk(path, lines, scrutinee, seen, out);
+                for a in arms {
+                    d10_walk(path, lines, &a.guard, seen, out);
+                    d10_walk(path, lines, &a.body, seen, out);
+                }
+            }
+            Node::Loop { cond, body, line, .. } => {
+                if hot_loop_marked(lines, *line) {
+                    let mut calls = Vec::new();
+                    callgraph::collect_calls(body, &mut calls);
+                    for c in calls {
+                        let Some(what) = banned_alloc(c) else { continue };
+                        if !seen.insert((c.line, c.col)) {
+                            continue; // nested marked loops: report once
+                        }
+                        out.push(Violation::new(
+                            path,
+                            c.line,
+                            "hot-loop-alloc",
+                            format!(
+                                "{what} inside a `geo-analyze: hot-loop` kernel loop: \
+                                 allocate outside the loop and reuse the buffer \
+                                 (DESIGN.md §12)"
+                            ),
+                        ));
+                    }
+                }
+                d10_walk(path, lines, cond, seen, out);
+                d10_walk(path, lines, body, seen, out);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::analyze_source;
@@ -464,11 +659,20 @@ mod tests {
     }
 
     #[test]
-    fn d5_whole_file_in_parcomm_and_spans_elsewhere() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        assert!(!analyze_source("crates/parcomm/src/lib.rs", src).is_empty());
+    fn d5_comm_impls_in_parcomm_and_spans_elsewhere() {
+        // Inside an `impl Comm for …` block: in scope.
+        let in_impl = "struct X;\nimpl Comm for X {\n    fn f(&self, x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let v = analyze_source("crates/parcomm/src/lib.rs", in_impl);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].line, v[0].rule), (3, "panic-in-spmd"));
+        // Default methods of the `Comm` trait declaration: in scope.
+        let in_trait = "trait Comm {\n    fn f(&self, x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(!analyze_source("crates/parcomm/src/lib.rs", in_trait).is_empty());
+        // A free helper fn in the same file: no longer in D5 scope.
+        let bare = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(analyze_source("crates/parcomm/src/lib.rs", bare).is_empty());
         // Outside parcomm, only rank-closure spans are checked.
-        assert!(analyze_source("crates/bench/src/x.rs", src).is_empty());
+        assert!(analyze_source("crates/bench/src/x.rs", bare).is_empty());
         let spmd = "fn go() {\n    let r = run_spmd(4, |c| {\n        c.stats().total.checked_add(1).unwrap()\n    });\n    r.first().unwrap();\n}\n";
         let v = analyze_source("crates/bench/src/x.rs", spmd);
         assert_eq!(v.len(), 1, "{v:?}");

@@ -227,6 +227,37 @@ fn mark_cfg_test_spans(lines: &mut [Line]) {
     }
 }
 
+/// Names of out-of-line `#[cfg(test)] mod name;` modules declared in this
+/// file. Their bodies live in sibling *files*, outside the span marker's
+/// reach — the workspace walk analyzes those files as test code.
+pub fn out_of_line_test_mods(lines: &[Line]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (l, line) in lines.iter().enumerate() {
+        if !(line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test")) {
+            continue;
+        }
+        for (k, follow) in lines.iter().enumerate().skip(l) {
+            if follow.code.contains('{') {
+                break; // inline module or fn: spanned, not out-of-line
+            }
+            if let Some(at) = find_token(&follow.code, "mod") {
+                let rest = follow.code[at + "mod".len()..].trim_start();
+                let name: String =
+                    rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                if !name.is_empty() && rest[name.len()..].trim_start().starts_with(';') {
+                    out.push(name);
+                }
+                break;
+            }
+            // Some other `;`-terminated item under the attribute.
+            if k > l && follow.code.contains(';') {
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// From the attribute at `attr_line`, find the `{` that opens the guarded
 /// item (skipping further attribute lines).
 fn find_mod_open(lines: &[Line], attr_line: usize) -> Option<(usize, usize)> {

@@ -241,9 +241,89 @@ pub fn check_bench_dir(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(errs)
 }
 
+/// Names like `BENCH_foo.json` mentioned anywhere in `text`.
+pub fn bench_refs(text: &str) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = text[i..].find("BENCH_") {
+        let start = i + off;
+        let mut end = start + "BENCH_".len();
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if end > start + "BENCH_".len() && text[end..].starts_with(".json") {
+            out.insert(text[start..end + ".json".len()].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+/// Docs ↔ disk cross-check: every committed `BENCH_*.json` must be
+/// discussed in README.md or DESIGN.md (an orphaned baseline is dead
+/// weight nobody interprets), and every baseline the docs cite must be
+/// committed (a dangling reference misleads readers). Both directions
+/// are errors.
+pub fn check_bench_docs(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut errs = Vec::new();
+    let mut on_disk = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") && entry.path().is_file() {
+            on_disk.insert(name);
+        }
+    }
+    let mut referenced = std::collections::BTreeSet::new();
+    for doc in ["README.md", "DESIGN.md"] {
+        let p = root.join(doc);
+        if p.is_file() {
+            referenced.extend(bench_refs(&std::fs::read_to_string(p)?));
+        }
+    }
+    for name in &on_disk {
+        if !referenced.contains(name) {
+            errs.push(format!(
+                "{name}: orphaned baseline — committed but never referenced in README.md or DESIGN.md"
+            ));
+        }
+    }
+    for name in &referenced {
+        if !on_disk.contains(name) {
+            errs.push(format!(
+                "{name}: dangling reference — cited in the docs but not committed at the repo root"
+            ));
+        }
+    }
+    Ok(errs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_refs_extracts_exact_names() {
+        let text = "See `BENCH_scale.json` and BENCH_proc.json; ignore BENCH_ and\n\
+                    BENCH_partial (no extension) and bench_lower.json.";
+        let refs = bench_refs(text);
+        let want: Vec<&str> = vec!["BENCH_proc.json", "BENCH_scale.json"];
+        assert_eq!(refs.iter().map(String::as_str).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn orphaned_and_dangling_baselines_are_both_errors() {
+        let root = std::env::temp_dir().join("geo_analyze_bench_docs_check");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("BENCH_orphan.json"), "{}").unwrap();
+        std::fs::write(root.join("README.md"), "cites BENCH_ghost.json only").unwrap();
+        let errs = check_bench_docs(&root).unwrap();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("BENCH_orphan.json") && errs[0].contains("orphaned"));
+        assert!(errs[1].contains("BENCH_ghost.json") && errs[1].contains("dangling"));
+    }
 
     #[test]
     fn unknown_bench_files_must_register() {

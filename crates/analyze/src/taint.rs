@@ -1,0 +1,714 @@
+//! Rank-taint dataflow (rules D7 and D9): values derived from
+//! `comm.rank()` / `rank` parameters propagate through `let` bindings,
+//! arithmetic, and assignments; collectives must not be *guarded* by a
+//! tainted condition (D7 — every rank must reach the call) and their
+//! buffer lengths / roots must not be tainted (D9 — the silent
+//! zip-truncate class `CheckedComm` catches at runtime).
+//!
+//! The analysis is intraprocedural and deliberately conservative in both
+//! directions where the paper's protocol demands it:
+//!
+//! * **Laundering**: results of the replicated collectives (`allreduce*`,
+//!   `allgather`, `broadcast`) are rank-*independent* even when their
+//!   inputs are tainted — their argument spans are masked, so
+//!   `comm.allreduce(local_flag, …) == 1` never taints a guard.
+//! * **Rank-valued collectives**: `exscan_sum_u64` and `alltoallv`
+//!   results differ per rank and seed taint.
+//! * Branches and loops with tainted conditions poison everything they
+//!   dominate (including statements after a tainted `return`/`break`),
+//!   and the tainted condition set is exported for the D8 protocol check.
+//!
+//! Two passes over each fn reach a fixpoint for loop-carried taint: the
+//! first only propagates, the second also emits diagnostics.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::parse::{extract_calls, CallSite, ExitKind, FnItem, Node, Segment, Tok, TokKind};
+use crate::Violation;
+
+/// The `Comm` collective method names — terminals of the protocol rules.
+pub const COLLECTIVES: &[&str] = &[
+    "barrier",
+    "allgather",
+    "alltoallv",
+    "allreduce",
+    "allreduce_sum_f64",
+    "allreduce_max_f64",
+    "allreduce_min_f64",
+    "allreduce_sum_u64",
+    "exscan_sum_u64",
+    "broadcast",
+];
+
+/// Collectives whose results are replicated across ranks: their argument
+/// spans launder taint.
+const LAUNDERING: &[&str] = &[
+    "allreduce",
+    "allreduce_sum_f64",
+    "allreduce_max_f64",
+    "allreduce_min_f64",
+    "allreduce_sum_u64",
+    "allgather",
+    "broadcast",
+];
+
+/// Collectives whose results are rank-dependent: they seed taint.
+const RANK_VALUED: &[&str] = &["exscan_sum_u64", "alltoallv"];
+
+/// Typed buffer collectives: D9 checks `args[0]` for length taint.
+const LEN_CHECKED: &[&str] =
+    &["allreduce_sum_f64", "allreduce_max_f64", "allreduce_min_f64", "allreduce_sum_u64", "alltoallv"];
+
+/// The result of taint-analyzing one fn.
+#[derive(Debug, Default)]
+pub struct FnTaint {
+    /// D7 (`rank-tainted-guard`) and D9 (`rank-tainted-length`) hits.
+    pub violations: Vec<Violation>,
+    /// Uids of `If`/`Loop`/`Match` nodes whose condition is rank-tainted
+    /// (consumed by the D8 protocol-divergence check).
+    pub tainted_conds: BTreeSet<u32>,
+}
+
+/// Run the rank-taint dataflow over one fn body.
+pub fn analyze_fn(path: &str, f: &FnItem, toks: &[Tok]) -> FnTaint {
+    let mut t = Taint {
+        toks,
+        path,
+        val: BTreeSet::new(),
+        len: BTreeSet::new(),
+        conds: BTreeSet::new(),
+        out: Vec::new(),
+        ctx: 0,
+        poisoned: false,
+        loop_poison: Vec::new(),
+        emit: false,
+    };
+    for p in &f.params {
+        if p == "rank" || p.ends_with("_rank") || p.starts_with("rank_") {
+            t.val.insert(p.clone());
+        }
+    }
+    // Pass 1 propagates only (loop-carried taint reaches a fixpoint for
+    // the straight-line binding chains this codebase uses); pass 2 emits.
+    t.walk(&f.body);
+    t.ctx = 0;
+    t.poisoned = false;
+    t.loop_poison.clear();
+    t.emit = true;
+    t.walk(&f.body);
+    FnTaint { violations: t.out, tainted_conds: t.conds }
+}
+
+struct Taint<'a> {
+    toks: &'a [Tok],
+    path: &'a str,
+    /// Value-tainted variable names.
+    val: BTreeSet<String>,
+    /// Length-tainted variable names.
+    len: BTreeSet<String>,
+    conds: BTreeSet<u32>,
+    out: Vec<Violation>,
+    /// Nesting depth of tainted branches/loops.
+    ctx: u32,
+    /// A tainted `return` happened: the rest of the fn is rank-dependent.
+    poisoned: bool,
+    /// Per enclosing loop: a tainted `break`/`continue` happened.
+    loop_poison: Vec<bool>,
+    emit: bool,
+}
+
+impl<'a> Taint<'a> {
+    fn tainted_ctx(&self) -> bool {
+        self.ctx > 0 || self.poisoned || self.loop_poison.iter().any(|b| *b)
+    }
+
+    fn walk(&mut self, nodes: &[Node]) {
+        for n in nodes {
+            self.node(n);
+        }
+    }
+
+    fn node(&mut self, n: &Node) {
+        match n {
+            Node::Seg(seg) => self.segment(seg),
+            Node::Block(b) => self.walk(b),
+            Node::Let { binds, arity, init, else_b, .. } => {
+                self.walk(init);
+                self.bind_let(binds, *arity, init);
+                // let-else diverges; its block runs only on pattern
+                // mismatch — same ctx.
+                self.walk(else_b);
+            }
+            Node::If { uid, cond, binds, then_b, else_b, .. } => {
+                self.walk(cond);
+                let tainted = self.nodes_taint(cond);
+                if tainted {
+                    self.conds.insert(*uid);
+                    for b in binds {
+                        self.val.insert(b.clone());
+                    }
+                }
+                if tainted {
+                    self.ctx += 1;
+                }
+                self.walk(then_b);
+                self.walk(else_b);
+                if tainted {
+                    self.ctx -= 1;
+                }
+            }
+            Node::Loop { uid, cond, binds, body, .. } => {
+                self.walk(cond);
+                let tainted = self.nodes_taint(cond);
+                if tainted {
+                    self.conds.insert(*uid);
+                    for b in binds {
+                        self.val.insert(b.clone());
+                    }
+                }
+                if tainted {
+                    self.ctx += 1;
+                }
+                self.loop_poison.push(false);
+                self.walk(body);
+                self.loop_poison.pop();
+                if tainted {
+                    self.ctx -= 1;
+                }
+            }
+            Node::Match { uid, scrutinee, arms, .. } => {
+                self.walk(scrutinee);
+                let scrut = self.nodes_taint(scrutinee);
+                let mut tainted = scrut;
+                for a in arms {
+                    self.walk(&a.guard);
+                    if self.nodes_taint(&a.guard) {
+                        tainted = true;
+                    }
+                }
+                if tainted {
+                    self.conds.insert(*uid);
+                }
+                if tainted {
+                    self.ctx += 1;
+                }
+                for a in arms {
+                    if scrut {
+                        for b in &a.binds {
+                            self.val.insert(b.clone());
+                        }
+                    }
+                    self.walk(&a.body);
+                }
+                if tainted {
+                    self.ctx -= 1;
+                }
+            }
+            Node::Exit { kind, value, .. } => {
+                self.walk(value);
+                if self.tainted_ctx() {
+                    match kind {
+                        ExitKind::Return => self.poisoned = true,
+                        ExitKind::Break | ExitKind::Continue => {
+                            if let Some(top) = self.loop_poison.last_mut() {
+                                *top = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value taint of an expression subtree: its value-position segments
+    /// (conditions/scrutinees/guards of nested control are control, not
+    /// value, and are excluded).
+    fn nodes_taint(&self, nodes: &[Node]) -> bool {
+        let mut segs = Vec::new();
+        value_segments(nodes, &mut segs);
+        segs.iter().any(|s| self.expr_taint(s.toks.clone()))
+    }
+
+    /// One flat expression segment: collective checks (D7/D9) and
+    /// assignment/mutation tracking.
+    fn segment(&mut self, seg: &Segment) {
+        for c in &seg.calls {
+            if c.is_method && COLLECTIVES.contains(&c.name.as_str()) {
+                self.check_collective(c);
+            }
+            self.mutation(c);
+        }
+        // Plain assignment `x = …` / `x op= …`: retaint the target.
+        let r = seg.toks.clone();
+        if r.len() >= 2 && self.toks[r.start].kind == TokKind::Ident {
+            let op = &self.toks[r.start + 1].text;
+            let is_assign = op == "="
+                || matches!(
+                    op.as_str(),
+                    "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+                );
+            if is_assign {
+                let name = self.toks[r.start].text.clone();
+                let rhs = r.start + 2..r.end;
+                if self.expr_taint(rhs.clone()) || self.tainted_ctx() {
+                    self.val.insert(name.clone());
+                }
+                if self.len_taint(rhs) {
+                    self.len.insert(name);
+                }
+            }
+        }
+    }
+
+    /// Length-affecting method calls: growth under a tainted context (or
+    /// with a tainted size argument) makes the receiver length-tainted.
+    fn mutation(&mut self, c: &CallSite) {
+        if !c.is_method || c.tok < 2 {
+            return;
+        }
+        let recv_at = c.tok - 2;
+        if !self.toks[c.tok - 1].is_dot() || self.toks[recv_at].kind != TokKind::Ident {
+            return;
+        }
+        let recv = self.toks[recv_at].text.clone();
+        match c.name.as_str() {
+            "push" | "extend" | "append" | "insert" | "split_off" | "pop" | "remove"
+                if self.tainted_ctx() =>
+            {
+                self.len.insert(recv);
+            }
+            "resize" | "truncate" => {
+                let arg_tainted =
+                    c.args.first().is_some_and(|a| self.expr_taint(a.clone()));
+                if self.tainted_ctx() || arg_tainted {
+                    self.len.insert(recv);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn check_collective(&mut self, c: &CallSite) {
+        if self.emit && self.tainted_ctx() {
+            self.out.push(Violation::new(
+                self.path,
+                c.line,
+                "rank-tainted-guard",
+                format!(
+                    "collective `{}` is dominated by a rank-tainted branch or loop \
+                     condition: ranks that skip it strand their peers (DESIGN.md §12)",
+                    c.name
+                ),
+            ));
+        }
+        if self.emit {
+            let bad_len = LEN_CHECKED.contains(&c.name.as_str())
+                && c.args.first().is_some_and(|a| self.len_taint(a.clone()));
+            let bad_root = c.name == "broadcast"
+                && c.args.first().is_some_and(|a| self.expr_taint(a.clone()));
+            if bad_len || bad_root {
+                let what = if bad_root { "root" } else { "buffer length" };
+                self.out.push(Violation::new(
+                    self.path,
+                    c.line,
+                    "rank-tainted-length",
+                    format!(
+                        "collective `{}` has a rank-tainted {what}: ranks would disagree \
+                         on the exchange shape (DESIGN.md §12)",
+                        c.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Bind a `let`: tuple-aware when the pattern arity matches a
+    /// parenthesized tuple initializer, so
+    /// `let (p, r) = (comm.size(), comm.rank())` taints only `r`.
+    fn bind_let(&mut self, binds: &[String], arity: Option<usize>, init: &[Node]) {
+        if init.is_empty() || binds.is_empty() {
+            return;
+        }
+        if let (Some(n), [Node::Seg(seg)]) = (arity, init) {
+            if binds.len() == n {
+                if let Some(parts) = tuple_parts(self.toks, seg.toks.clone(), n) {
+                    for (b, part) in binds.iter().zip(parts) {
+                        if self.expr_taint(part.clone()) || self.tainted_ctx() {
+                            self.val.insert(b.clone());
+                        }
+                        if self.init_len_taint(part) {
+                            self.len.insert(b.clone());
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        let mut segs = Vec::new();
+        value_segments(init, &mut segs);
+        let tainted =
+            segs.iter().any(|s| self.expr_taint(s.toks.clone())) || self.tainted_ctx();
+        let len = segs.iter().any(|s| self.init_len_taint(s.toks.clone()));
+        for b in binds {
+            if tainted {
+                self.val.insert(b.clone());
+            }
+            if len {
+                self.len.insert(b.clone());
+            }
+        }
+    }
+
+    /// Length taint of a `let` initializer. `vec![v; n]` is length-tainted
+    /// only through `n` (its *contents* being rank-dependent is fine — the
+    /// whole point of an allreduce); fresh `Vec::new`/`with_capacity`
+    /// start untainted; everything else inherits [`Self::len_taint`].
+    fn init_len_taint(&self, r: Range<usize>) -> bool {
+        let calls = extract_calls(self.toks, r.clone());
+        if let Some(v) = calls.iter().find(|c| c.is_macro && c.name == "vec") {
+            return match v.args.len() {
+                2 => self.expr_taint(v.args[1].clone()),
+                _ => false,
+            };
+        }
+        if calls.iter().any(|c| {
+            matches!(c.name.as_str(), "new" | "with_capacity" | "default")
+                && c.qual.last().is_some_and(|q| q == "Vec")
+        }) {
+            return false;
+        }
+        self.len_taint(r)
+    }
+
+    /// Value taint of an expression range: a tainted identifier, a
+    /// `.rank()` call, or a rank-valued collective — with the argument
+    /// spans of laundering collectives masked out.
+    fn expr_taint(&self, r: Range<usize>) -> bool {
+        let calls = extract_calls(self.toks, r.clone());
+        let mut masked: Vec<Range<usize>> = Vec::new();
+        for c in &calls {
+            if c.is_method && LAUNDERING.contains(&c.name.as_str()) {
+                for a in &c.args {
+                    masked.push(a.clone());
+                }
+            }
+        }
+        let is_masked = |pos: usize| masked.iter().any(|m| m.contains(&pos));
+        for c in &calls {
+            if c.is_method
+                && !is_masked(c.tok)
+                && (c.name == "rank" || RANK_VALUED.contains(&c.name.as_str()))
+            {
+                return true;
+            }
+        }
+        for k in r.clone() {
+            let t = &self.toks[k];
+            if t.kind == TokKind::Ident && !is_masked(k) && self.val.contains(&t.text) {
+                // Field accesses (`x.rank_field`) and method names are
+                // position-checked: a tainted *variable* is an ident not
+                // preceded by `.` or `::`.
+                let prev = k.checked_sub(1).map(|p| self.toks[p].text.as_str());
+                if prev != Some(".") && prev != Some("::") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Length taint of an expression range: a length-tainted identifier,
+    /// or a slice with a value-tainted bound (`&xs[lo..hi]`).
+    fn len_taint(&self, r: Range<usize>) -> bool {
+        for k in r.clone() {
+            let t = &self.toks[k];
+            if t.kind == TokKind::Ident && self.len.contains(&t.text) {
+                let prev = k.checked_sub(1).map(|p| self.toks[p].text.as_str());
+                if prev != Some(".") && prev != Some("::") {
+                    return true;
+                }
+            }
+            if t.text == "[" && t.kind == TokKind::Punct {
+                let close = match_sq(self.toks, k, r.end);
+                let inner = k + 1..close;
+                let has_range = inner.clone().any(|i| {
+                    let s = self.toks[i].text.as_str();
+                    s == ".." || s == "..="
+                });
+                if has_range && self.expr_taint(inner) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Tok {
+    fn is_dot(&self) -> bool {
+        self.kind == TokKind::Punct && self.text == "."
+    }
+}
+
+/// Matching `]` for the `[` at `open` (clamped to `end`).
+fn match_sq(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        match toks[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    end
+}
+
+/// If `toks[r]` is exactly `( e1, …, en )` with `n` top-level parts,
+/// return the part ranges.
+fn tuple_parts(toks: &[Tok], r: Range<usize>, n: usize) -> Option<Vec<Range<usize>>> {
+    if r.is_empty() || toks[r.start].text != "(" {
+        return None;
+    }
+    let close = {
+        let mut depth = 0i32;
+        let mut at = None;
+        for k in r.clone() {
+            match toks[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        at = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        at?
+    };
+    if close + 1 != r.end {
+        return None; // trailing tokens: not a bare tuple
+    }
+    let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+    let mut parts = Vec::new();
+    let mut start = r.start + 1;
+    for (k, t) in toks.iter().enumerate().take(close).skip(r.start + 1) {
+        match t.text.as_str() {
+            "(" => p += 1,
+            ")" => p -= 1,
+            "[" => b += 1,
+            "]" => b -= 1,
+            "{" => c += 1,
+            "}" => c -= 1,
+            "," if p == 0 && b == 0 && c == 0 => {
+                parts.push(start..k);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(start..close);
+    (parts.len() == n).then_some(parts)
+}
+
+/// Collect the value-position segments of an expression subtree, skipping
+/// conditions, scrutinees, and guards (control positions).
+fn value_segments<'n>(nodes: &'n [Node], out: &mut Vec<&'n Segment>) {
+    for n in nodes {
+        match n {
+            Node::Seg(s) => out.push(s),
+            Node::Block(b) => value_segments(b, out),
+            Node::Let { init, else_b, .. } => {
+                value_segments(init, out);
+                value_segments(else_b, out);
+            }
+            Node::If { then_b, else_b, .. } => {
+                value_segments(then_b, out);
+                value_segments(else_b, out);
+            }
+            Node::Loop { body, .. } => value_segments(body, out),
+            Node::Match { arms, .. } => {
+                for a in arms {
+                    value_segments(&a.body, out);
+                }
+            }
+            Node::Exit { value, .. } => value_segments(value, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scan::scan;
+
+    fn run(src: &str) -> FnTaint {
+        let lines = scan(src);
+        let parsed = parse_file(&lines).expect("parse");
+        let f = parsed.fns.first().expect("one fn");
+        analyze_fn("crates/core/src/x.rs", f, &parsed.toks)
+    }
+
+    #[test]
+    fn rank_guard_on_collective_fires_d7() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    if comm.rank() == 0 {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert_eq!(t.violations.len(), 1, "{:?}", t.violations);
+        assert_eq!((t.violations[0].line, t.violations[0].rule), (3, "rank-tainted-guard"));
+        assert_eq!(t.tainted_conds.len(), 1);
+    }
+
+    #[test]
+    fn taint_propagates_through_lets_and_arithmetic() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let r = comm.rank();\n    let half = r / 2 + 1;\n    \
+             while half > 0 {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert!(t.violations.iter().any(|v| v.line == 5 && v.rule == "rank-tainted-guard"));
+    }
+
+    #[test]
+    fn allreduce_launders_tainted_inputs() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C, local_full: u64) {\n    \
+             let all_full = comm.allreduce(local_full + comm.rank() as u64, u64::min) == 1;\n    \
+             if all_full {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn exscan_result_is_rank_valued() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let start = comm.exscan_sum_u64(4);\n    \
+             if start > 0 {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert!(t.violations.iter().any(|v| v.line == 4 && v.rule == "rank-tainted-guard"));
+    }
+
+    #[test]
+    fn tuple_let_taints_only_the_rank_component() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let (p, r) = (comm.size(), comm.rank());\n    \
+             if p > 1 {\n        comm.barrier();\n    }\n    if r > 0 {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert_eq!(t.violations.len(), 1, "{:?}", t.violations);
+        assert_eq!(t.violations[0].line, 7);
+    }
+
+    #[test]
+    fn vec_of_rank_values_is_not_length_tainted() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let mut buf = vec![comm.rank() as f64 + 0.5; 1024];\n    \
+             comm.allreduce_sum_f64(&mut buf);\n}\n",
+        );
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn rank_sized_vec_fires_d9() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let n = comm.rank() + 1;\n    \
+             let mut buf = vec![0.0; n];\n    comm.allreduce_sum_f64(&mut buf);\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 4 && v.rule == "rank-tainted-length"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn tainted_slice_bounds_fire_d9() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C, xs: &mut [f64]) {\n    let r = comm.rank();\n    \
+             let lo = r * 4;\n    comm.allreduce_sum_f64(&mut xs[lo..lo + 4]);\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 4 && v.rule == "rank-tainted-length"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn tainted_broadcast_root_fires_d9() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let r = comm.rank();\n    \
+             let _v: u64 = comm.broadcast(r, Some(1));\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 3 && v.rule == "rank-tainted-length"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn growth_under_tainted_branch_length_taints() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    let mut mine = Vec::new();\n    \
+             if comm.rank() == 0 {\n        mine.push(1u64);\n    }\n    \
+             comm.allreduce_sum_u64(&mut mine);\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 6 && v.rule == "rank-tainted-length"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn tainted_return_poisons_the_rest_of_the_fn() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    if comm.rank() > 0 {\n        return;\n    }\n    \
+             comm.barrier();\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 5 && v.rule == "rank-tainted-guard"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn tainted_break_poisons_the_rest_of_the_loop() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C) {\n    for i in 0..4 {\n        if comm.rank() == i {\n            break;\n        }\n        comm.barrier();\n    }\n}\n",
+        );
+        assert!(
+            t.violations.iter().any(|v| v.line == 6 && v.rule == "rank-tainted-guard"),
+            "{:?}",
+            t.violations
+        );
+    }
+
+    #[test]
+    fn params_named_rank_seed_taint() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C, my_rank: usize) {\n    if my_rank == 0 {\n        comm.barrier();\n    }\n}\n",
+        );
+        assert!(t.violations.iter().any(|v| v.line == 3), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn untainted_collectives_in_loops_are_fine() {
+        let t = run(
+            "fn f<C: Comm>(comm: &C, iters: usize) {\n    for _ in 0..iters {\n        \
+             comm.barrier();\n        let mut s = vec![0.0; 8];\n        \
+             comm.allreduce_sum_f64(&mut s);\n    }\n}\n",
+        );
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+}

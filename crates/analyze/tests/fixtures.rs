@@ -64,11 +64,11 @@ fn d5_panic_in_spmd_detected_at_exact_line() {
 }
 
 #[test]
-fn d5_whole_file_scope_in_comm_implementations() {
-    // The same snippet analyzed as a Comm implementation file is checked
-    // on every line, not just call spans.
-    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.expect(\"set\")\n}\n";
-    check("crates/parcomm/src/checked.rs", src, &[(2, "panic-in-spmd")]);
+fn d5_comm_impl_scope_in_comm_implementation_files() {
+    // In a parcomm Comm file, D5 covers `impl … Comm for …` blocks; a
+    // free helper fn in the same file is out of scope.
+    let src = "pub struct X;\nimpl Comm for X {\n    fn f(&self, x: Option<u8>) -> u8 {\n        x.expect(\"set\")\n    }\n}\npub fn helper(x: Option<u8>) -> u8 {\n    x.expect(\"set\")\n}\n";
+    check("crates/parcomm/src/checked.rs", src, &[(4, "panic-in-spmd")]);
 }
 
 #[test]
@@ -84,6 +84,47 @@ fn d6_wire_kind_table_detected_at_exact_lines() {
             (6, "wire-kind-table"),
             (10, "wire-kind-table"),
         ],
+    );
+}
+
+#[test]
+fn d7_rank_tainted_guard_detected_at_exact_line() {
+    // The guarded collective fires D7 at its own line; the rank-tainted
+    // `if` with lopsided branch protocols also fires D8 at the branch.
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d7_rank_tainted_guard.rs"),
+        &[(5, "protocol-divergence"), (6, "rank-tainted-guard")],
+    );
+}
+
+#[test]
+fn d8_protocol_divergence_detected_through_the_call_graph() {
+    // The divergence is only visible by summarizing the helper fns:
+    // neither branch contains a collective call site itself, so D7 stays
+    // silent and D8 fires at the rank-tainted `if`.
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d8_protocol_divergence.rs"),
+        &[(14, "protocol-divergence")],
+    );
+}
+
+#[test]
+fn d9_rank_tainted_length_detected_at_exact_line() {
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d9_rank_tainted_length.rs"),
+        &[(5, "rank-tainted-length")],
+    );
+}
+
+#[test]
+fn d10_hot_loop_alloc_detected_at_exact_line() {
+    check(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d10_hot_loop_alloc.rs"),
+        &[(7, "hot-loop-alloc")],
     );
 }
 

@@ -1,0 +1,11 @@
+//! D10 fixture: allocation inside a marked hot kernel loop.
+
+pub fn kernel(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // geo-analyze: hot-loop
+    for &x in xs {
+        let tmp = vec![x; 4];
+        acc += tmp[0] + tmp[3];
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+//! D7 fixture: a collective dominated by a rank-dependent branch.
+
+pub fn lopsided<C: Comm>(comm: &C) {
+    let me = comm.rank();
+    if me == 0 {
+        comm.barrier();
+    }
+}

@@ -1,0 +1,19 @@
+//! D8 fixture: branches of a rank-tainted `if` issue different
+//! collective sequences through helper calls — visible only via the
+//! call graph, not intra-procedurally (no D7 fires here).
+
+fn sync_a<C: Comm>(comm: &C) {
+    comm.barrier();
+}
+
+fn sync_b<C: Comm>(comm: &C) {
+    let _ = comm.allgather(vec![0u64]);
+}
+
+pub fn diverging<C: Comm>(comm: &C) {
+    if comm.rank() == 0 {
+        sync_a(comm);
+    } else {
+        sync_b(comm);
+    }
+}

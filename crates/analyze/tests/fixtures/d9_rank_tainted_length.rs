@@ -1,0 +1,6 @@
+//! D9 fixture: collective buffer length derived from the rank.
+
+pub fn ragged<C: Comm>(comm: &C) {
+    let mut buf = vec![0.0f64; comm.rank() + 1];
+    comm.allreduce_sum_f64(&mut buf);
+}

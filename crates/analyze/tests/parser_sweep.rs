@@ -1,0 +1,152 @@
+//! Parser-tolerance sweep: the expression layer must walk every workspace
+//! `src/` file without error, and every collective call site the old
+//! lexer finds must also be found — at the identical position — by the
+//! parser. A parse failure here means a workspace construct fell outside
+//! the supported subset, which would silently downgrade D7–D9 to
+//! lexer-level analysis for that file.
+
+use std::path::{Path, PathBuf};
+
+use geographer_analyze::parse::{self, CallSite, Node};
+use geographer_analyze::scan;
+
+/// Names of the `Comm` collectives (the terminals of the protocol rules).
+const COLLECTIVES: &[&str] = &[
+    "barrier",
+    "allgather",
+    "alltoallv",
+    "allreduce",
+    "allreduce_sum_f64",
+    "allreduce_max_f64",
+    "allreduce_min_f64",
+    "allreduce_sum_u64",
+    "exscan_sum_u64",
+    "broadcast",
+];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// All `src/` files of every workspace crate (fixture corpus excluded —
+/// fixtures are deliberately partial snippets).
+fn workspace_src_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    collect_rs(&root.join("vendor"), &mut files);
+    files.retain(|p| {
+        let s = p.to_string_lossy().replace('\\', "/");
+        !s.contains("/tests/fixtures/")
+    });
+    files.sort();
+    assert!(files.len() > 30, "workspace source sweep found too few files");
+    files
+}
+
+fn flat_calls(nodes: &[Node], out: &mut Vec<CallSite>) {
+    for n in nodes {
+        match n {
+            Node::Seg(s) => out.extend(s.calls.iter().cloned()),
+            Node::Let { init, else_b, .. } => {
+                flat_calls(init, out);
+                flat_calls(else_b, out);
+            }
+            Node::If { cond, then_b, else_b, .. } => {
+                flat_calls(cond, out);
+                flat_calls(then_b, out);
+                flat_calls(else_b, out);
+            }
+            Node::Loop { cond, body, .. } => {
+                flat_calls(cond, out);
+                flat_calls(body, out);
+            }
+            Node::Match { scrutinee, arms, .. } => {
+                flat_calls(scrutinee, out);
+                for a in arms {
+                    flat_calls(&a.guard, out);
+                    flat_calls(&a.body, out);
+                }
+            }
+            Node::Block(b) => flat_calls(b, out),
+            Node::Exit { value, .. } => flat_calls(value, out),
+        }
+    }
+}
+
+#[test]
+fn every_workspace_src_file_parses() {
+    let mut failures = Vec::new();
+    for f in workspace_src_files() {
+        let text = std::fs::read_to_string(&f).expect("readable source");
+        let lines = scan::scan(&text);
+        if let Err(e) = parse::parse_file(&lines) {
+            failures.push(format!("  {}: {e}\n", f.display()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parser failed on {} workspace file(s):\n{}",
+        failures.len(),
+        failures.concat()
+    );
+}
+
+#[test]
+fn parser_finds_every_lexer_collective_call_site() {
+    let mut checked = 0usize;
+    for f in workspace_src_files() {
+        let text = std::fs::read_to_string(&f).expect("readable source");
+        let lines = scan::scan(&text);
+        let Ok(parsed) = parse::parse_file(&lines) else { continue };
+
+        // Lexer view: `.name(` occurrences in blanked code.
+        let mut lexer_sites: Vec<(usize, usize, &str)> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            for name in COLLECTIVES {
+                let mut from = 0usize;
+                while let Some(rel) = {
+                    let sub = &line.code[from.min(line.code.len())..];
+                    scan::find_token(sub, name)
+                } {
+                    let at = from + rel;
+                    let is_method_call = at > 0
+                        && line.code.as_bytes()[at - 1] == b'.'
+                        && line.code[at + name.len()..].trim_start().starts_with('(');
+                    if is_method_call {
+                        lexer_sites.push((i + 1, at, name));
+                    }
+                    from = at + name.len();
+                }
+            }
+        }
+
+        // Parser view: method call sites from every fn body.
+        let mut calls = Vec::new();
+        for fun in &parsed.fns {
+            flat_calls(&fun.body, &mut calls);
+        }
+        for (line, col, name) in &lexer_sites {
+            checked += 1;
+            assert!(
+                calls.iter().any(|c| {
+                    c.is_method && c.name == *name && c.line == *line && c.col == *col
+                }),
+                "{}: lexer sees collective `.{name}(` at {line}:{col} but the parser does not",
+                f.display()
+            );
+        }
+    }
+    assert!(checked > 50, "too few collective call sites cross-checked: {checked}");
+}

@@ -266,6 +266,7 @@ fn scan_batch(
     let mut best_c = init_c;
     let mut evals = 0u64;
     let mut pruned = false;
+    // geo-analyze: hot-loop
     for j in 0..ebuf.len() {
         if pruning && cbound[j] > second {
             pruned = true;
@@ -329,6 +330,7 @@ fn process_block<const D: usize>(
     sidx.clear();
     sidx.resize(blen, 0);
     let mut slen = 0usize;
+    // geo-analyze: hot-loop
     for i in 0..blen {
         let survives = !(hamerly && ub[i] < lb[i]);
         sidx[slen] = i as u32;
@@ -345,6 +347,7 @@ fn process_block<const D: usize>(
         // box. The box covers every block point, hence every survivor, so
         // `cbound[j]` lower-bounds center j's effective distance to any
         // scanned point: skipping on `cbound[j] > second` is sound.
+        // geo-analyze: hot-loop
         for j in 0..k {
             let mut acc = 0.0;
             for d in 0..D {
@@ -374,6 +377,7 @@ fn process_block<const D: usize>(
         let (e0, e1) = ebuf.split_at_mut(k);
         let slen = sidx.len();
         let mut t = 0;
+        // geo-analyze: hot-loop
         while t + 1 < slen {
             let i0 = sidx[t] as usize;
             let i1 = sidx[t + 1] as usize;
@@ -426,6 +430,7 @@ fn process_block<const D: usize>(
     } else {
         // Large shortlists: branching skip-scan — the batch would spend
         // sqrt/div on centers the evolving `second` bound rules out.
+        // geo-analyze: hot-loop
         for &i in sidx.iter() {
             let i = i as usize;
             let mut best = f64::INFINITY;
@@ -487,6 +492,7 @@ fn soa_span_identity<const D: usize>(
     let mut stats = SpanStats::default();
     let len = assign.len();
     let mut b = 0;
+    // geo-analyze: hot-loop
     while b < len {
         let blen = SOA_BLOCK.min(len - b);
         let lanes: [&[f64]; D] =
@@ -531,6 +537,7 @@ impl<const D: usize> Solver<'_, D> {
         let mut best_c = self.assignment[p];
         let mut evals = 0u32;
         let mut bbox_break = false;
+        // geo-analyze: hot-loop
         for &(dist_to_bb, c) in sorted {
             if self.cfg.bbox_pruning && dist_to_bb > second {
                 bbox_break = true;

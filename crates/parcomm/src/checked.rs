@@ -29,7 +29,7 @@
 //! backends' liveness problem (EOF detection / the parent deadline on
 //! processes, barrier poisoning on threads — DESIGN.md §10).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use crate::proc::{run_spmd_proc, ProcComm, ProcError};
 use crate::stats::CommStats;
@@ -56,8 +56,11 @@ pub enum CheckedCall {
     Broadcast = 10,
 }
 
-/// Human-readable name for a wire call id (for [`ProtocolError`] display).
-fn call_name(id: u64) -> &'static str {
+/// Human-readable name for a wire call id: the exact [`Comm`] method
+/// name. Used for [`ProtocolError`] display and by the static-protocol
+/// refinement test to compare a runtime trace against `geo-analyze`'s
+/// collective-kind alphabet.
+pub fn call_name(id: u64) -> &'static str {
     match id {
         1 => "barrier",
         2 => "allgather",
@@ -137,13 +140,23 @@ pub struct CheckedComm<C: Comm> {
     inner: C,
     /// Count of checked collectives issued by this rank.
     calls: Cell<u64>,
+    /// Call-id trace of every checked collective, in issue order (the
+    /// runtime side of the static-protocol refinement contract).
+    trace: RefCell<Vec<u64>>,
 }
 
 impl<C: Comm> CheckedComm<C> {
     /// Wrap `inner`; every rank of the job must wrap (the digest is
     /// itself a collective).
     pub fn new(inner: C) -> Self {
-        CheckedComm { inner, calls: Cell::new(0) }
+        CheckedComm { inner, calls: Cell::new(0), trace: RefCell::new(Vec::new()) }
+    }
+
+    /// The wire call ids ([`CheckedCall`] values) of every collective this
+    /// rank has issued so far, in order. Map through [`call_name`] to get
+    /// the collective-kind sequence `geo-analyze protocol` summarizes.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.trace.borrow().clone()
     }
 
     /// The wrapped communicator (e.g. for backend-specific calls like
@@ -161,6 +174,7 @@ impl<C: Comm> CheckedComm<C> {
     fn check(&self, call: CheckedCall, detail: u64) {
         let seq = self.calls.get();
         self.calls.set(seq + 1);
+        self.trace.borrow_mut().push(call as u64);
         let sig = (seq, call as u64, detail);
         let table = self.inner.allgather(vec![sig]);
         let sigs: Vec<(u64, u64, u64)> = table.iter().map(|row| row[0]).collect();

@@ -319,7 +319,7 @@ impl ProcComm {
     }
 
     fn peer(&self, r: usize) -> &UnixStream {
-        // geo-analyze: allow(panic-in-spmd): infallible — the mesh is full except s == rank, and no collective addresses self.
+        // Infallible — the mesh is full except s == rank, and no collective addresses self.
         self.peers[r].as_ref().unwrap_or_else(|| panic!("rank {} has no stream to {r}", self.rank))
     }
 
@@ -336,7 +336,7 @@ impl ProcComm {
 
     fn send(&self, to: usize, k: u8, seq: u64, payload: &[u8]) {
         frame::write(self.peer(to), k, seq, payload).unwrap_or_else(|e| {
-            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — a wire fault means a peer died; the parent reports a ProcError (DESIGN.md §10).
+            // Deliberate fail-loud abort — a wire fault means a peer died; the parent reports a ProcError (DESIGN.md §10).
             panic!("rank {}: send to rank {to} failed (kind {k}, seq {seq}): {e}", self.rank)
         });
     }
@@ -348,7 +348,7 @@ impl ProcComm {
             } else {
                 e.to_string()
             };
-            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — EOF here is the designed dead-peer signal; the parent reports a ProcError (DESIGN.md §10).
+            // Deliberate fail-loud abort — EOF here is the designed dead-peer signal; the parent reports a ProcError (DESIGN.md §10).
             panic!("rank {}: recv from rank {from} failed (kind {k}, seq {seq}): {why}", self.rank)
         })
     }
@@ -381,7 +381,7 @@ impl ProcComm {
             std::thread::scope(|sc| {
                 sc.spawn(move || {
                     frame::write(to_stream, k, seq, payload).unwrap_or_else(|e| {
-                        // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — same dead-peer policy as send() (DESIGN.md §10).
+                        // Deliberate fail-loud abort — same dead-peer policy as send() (DESIGN.md §10).
                         panic!("rank {me}: send to rank {to} failed (kind {k}, seq {seq}): {e}")
                     });
                 });
@@ -679,7 +679,7 @@ where
 {
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         let comm = ProcComm::connect(&dir, rank, size, job)
-            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — caught by this catch_unwind and reported to the parent as a PANIC frame.
+            // Deliberate fail-loud abort — caught by this catch_unwind and reported to the parent as a PANIC frame.
             .unwrap_or_else(|e| panic!("rank {rank}: rendezvous failed: {e}"));
         f(comm)
     }));
@@ -873,7 +873,7 @@ where
     }
     Ok(payloads
         .into_iter()
-        // geo-analyze: allow(panic-in-spmd): infallible — reached only when `failure` is None, which requires a RESULT frame from every rank.
+        // Infallible — reached only when `failure` is None, which requires a RESULT frame from every rank.
         .map(|b| from_wire::<R>(&b.expect("result frame present for every rank")))
         .collect())
 }

@@ -74,7 +74,7 @@ impl Barrier {
     fn check_poison(&self) {
         let p = self.poisoned.load(Ordering::Acquire);
         if p != NOT_POISONED {
-            // geo-analyze: allow(panic-in-spmd): deliberate fail-loud abort — poisoning unparks peers of a dead rank; run_spmd re-propagates the first panic (DESIGN.md §10).
+            // Deliberate fail-loud abort — poisoning unparks peers of a dead rank; run_spmd re-propagates the first panic (DESIGN.md §10).
             panic!("SPMD aborted: rank {p} panicked while peers were in a collective");
         }
     }
@@ -158,9 +158,9 @@ impl ThreadComm {
 
     fn peek<T: Clone + 'static, R>(&self, rank: usize, f: impl FnOnce(&T) -> R) -> R {
         let guard = self.core.slots[rank].lock();
-        // geo-analyze: allow(panic-in-spmd): infallible — peek always follows the deposit barrier of the same collective round.
+        // Infallible — peek always follows the deposit barrier of the same collective round.
         let boxed = guard.as_ref().expect("peer slot must be filled");
-        // geo-analyze: allow(panic-in-spmd): fail-loud SPMD-contract check — ranks disagreeing on T must not silently reinterpret bytes.
+        // Fail-loud SPMD-contract check — ranks disagreeing on T must not silently reinterpret bytes.
         let value = boxed.downcast_ref::<T>().expect("collective type mismatch");
         f(value)
     }
